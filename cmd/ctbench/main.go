@@ -1,0 +1,82 @@
+// Command ctbench regenerates the evaluation: every table and figure of
+// the reconstructed ISPASS'15 experiments (see DESIGN.md's per-experiment
+// index and EXPERIMENTS.md for the committed results).
+//
+// Usage:
+//
+//	ctbench               # run everything
+//	ctbench -exp f4       # one experiment
+//	ctbench -csv          # emit CSV instead of aligned tables
+//	ctbench -samples 3000 -seed 1234 -tick 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"codetomo/internal/bench"
+	"codetomo/internal/mote"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4) or 'all'")
+	samples := flag.Int("samples", 0, "handler invocations per profiling run (default from bench.DefaultConfig)")
+	seed := flag.Int64("seed", 0, "workload seed (default from bench.DefaultConfig)")
+	tick := flag.Int("tick", 0, "timer prescaler (default from bench.DefaultConfig)")
+	predictor := flag.String("predictor", "", "nt or btfn (default nt)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *tick > 0 {
+		cfg.TickDiv = *tick
+	}
+	switch *predictor {
+	case "":
+	case "nt":
+		cfg.Predictor = mote.StaticNotTaken{}
+	case "btfn":
+		cfg.Predictor = mote.BTFN{}
+	default:
+		fatal(fmt.Errorf("unknown predictor %q", *predictor))
+	}
+
+	var run []bench.Experiment
+	if *exp == "all" {
+		run = bench.Experiments()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (valid: %v)", *exp, bench.SortedIDs()))
+		}
+		run = []bench.Experiment{e}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", e.ID, e.Title)
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.Render())
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctbench:", err)
+	os.Exit(1)
+}

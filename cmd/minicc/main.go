@@ -1,0 +1,75 @@
+// Command minicc compiles a MiniC source file to M16 machine code and
+// prints an annotated assembly listing, optionally with profiling
+// instrumentation and per-procedure CFG dumps.
+//
+// Usage:
+//
+//	minicc [-instrument none|timestamps|counters] [-dot proc] file.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codetomo/internal/compile"
+)
+
+func main() {
+	instrument := flag.String("instrument", "none", "instrumentation: none, timestamps, or counters")
+	dot := flag.String("dot", "", "print the named procedure's CFG in Graphviz DOT and exit")
+	stats := flag.Bool("stats", false, "print code size and global usage summary")
+	fuse := flag.Bool("fuse", false, "enable compare-branch fusion")
+	rotate := flag.Bool("rotate", false, "enable loop rotation")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var mode compile.Mode
+	switch *instrument {
+	case "none":
+		mode = compile.ModeNone
+	case "timestamps":
+		mode = compile.ModeTimestamps
+	case "counters":
+		mode = compile.ModeEdgeCounters
+	default:
+		fatal(fmt.Errorf("unknown instrumentation %q", *instrument))
+	}
+
+	out, err := compile.Build(string(src), compile.Options{Instrument: mode, FuseCompares: *fuse, RotateLoops: *rotate})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dot != "" {
+		p := out.CFG.Proc(*dot)
+		if p == nil {
+			fatal(fmt.Errorf("no procedure %q", *dot))
+		}
+		fmt.Print(p.DOT(nil))
+		return
+	}
+	if *stats {
+		fmt.Printf("procedures: %d\n", len(out.CFG.Procs))
+		fmt.Printf("instructions: %d\n", len(out.Code))
+		fmt.Printf("code bytes: %d\n", out.Meta.CodeBytes)
+		fmt.Printf("global words: %d\n", out.Meta.GlobalWords)
+		fmt.Printf("arc counters: %d\n", out.Meta.NumArcCounters)
+		return
+	}
+	fmt.Print(out.Listing())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

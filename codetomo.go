@@ -1,0 +1,344 @@
+// Package codetomo is the public face of the Code Tomography
+// reproduction: estimation-based profiling for code placement optimization
+// in sensor network programs (Wan, Cao, Zhou — ISPASS 2015).
+//
+// The pipeline it exposes is the paper's workflow end to end:
+//
+//  1. compile a MiniC sensor program with timestamp instrumentation at
+//     procedure boundaries (the only measurement Code Tomography needs);
+//  2. run it on the simulated M16 mote under a nondeterministic workload,
+//     collecting the quantized entry/exit timer readings;
+//  3. model each procedure as a discrete-time Markov chain over its basic
+//     blocks and estimate the branch probabilities from the end-to-end
+//     duration samples alone;
+//  4. feed the estimates back to the compiler's block-placement pass
+//     (Pettis–Hansen chaining) and rebuild without instrumentation;
+//  5. re-run and report the branch misprediction and cycle improvements.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the full
+// evaluation; package internal/bench regenerates every table and figure.
+package codetomo
+
+import (
+	"errors"
+	"fmt"
+
+	"codetomo/internal/compile"
+	"codetomo/internal/ir"
+	"codetomo/internal/layout"
+	"codetomo/internal/markov"
+	"codetomo/internal/mote"
+	"codetomo/internal/profile"
+	"codetomo/internal/stats"
+	"codetomo/internal/tomography"
+	"codetomo/internal/trace"
+	"codetomo/internal/workload"
+)
+
+// Config tunes a pipeline run. The zero value is usable: it profiles with
+// the Gaussian workload, an 8-cycle timer tick, and the predict-not-taken
+// pipeline.
+type Config struct {
+	// Workload names the input regime: gaussian, uniform, bursty, regime,
+	// or diurnal (default gaussian). Sensor, if non-nil, overrides it.
+	Workload string
+	Sensor   mote.SampleSource
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// TickDiv is the hardware timer prescaler in cycles (default 8).
+	TickDiv int
+	// Predictor is the static branch predictor (default predict-not-taken).
+	Predictor mote.Predictor
+	// Estimator selects the estimation strategy (default EM tuned to the
+	// timer resolution).
+	Estimator tomography.Estimator
+	// MinSamples is the fewest observations required to estimate a
+	// procedure; below it the static Ball–Larus heuristic is used
+	// (default 50).
+	MinSamples int
+	// MaxCycles bounds each simulated run (default 2e9).
+	MaxCycles uint64
+	// MaxVisits bounds loop unrolling during path enumeration (default 12).
+	MaxVisits int
+	// MinCoverage is the fraction of duration samples the path model must
+	// explain for an estimate to be trusted; below it the procedure falls
+	// back to static heuristics (default 0.85).
+	MinCoverage float64
+	// FuseCompares and RotateLoops enable the backend's optional
+	// optimization passes in every build of the pipeline.
+	FuseCompares bool
+	RotateLoops  bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload == "" {
+		c.Workload = "gaussian"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TickDiv <= 0 {
+		c.TickDiv = 8
+	}
+	if c.Predictor == nil {
+		c.Predictor = mote.StaticNotTaken{}
+	}
+	if c.Estimator == nil {
+		c.Estimator = tomography.EM{Config: tomography.EMConfig{KernelHalfWidth: float64(c.TickDiv)}}
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 50
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	if c.MaxVisits <= 0 {
+		c.MaxVisits = 12
+	}
+	if c.MinCoverage <= 0 {
+		c.MinCoverage = 0.85
+	}
+	return c
+}
+
+// RunStats summarizes one execution.
+type RunStats struct {
+	Cycles        uint64
+	Instructions  uint64
+	CondBranches  uint64
+	TakenBranches uint64
+	Mispredicts   uint64
+	EnergyUJ      float64
+}
+
+// MispredictRate is Mispredicts / CondBranches (0 when no branches ran).
+func (s RunStats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+func runStats(m *mote.Machine) RunStats {
+	s := m.Stats()
+	return RunStats{
+		Cycles:        s.Cycles,
+		Instructions:  s.Instructions,
+		CondBranches:  s.CondBranches,
+		TakenBranches: s.TakenBranches,
+		Mispredicts:   s.Mispredicts,
+		EnergyUJ:      mote.DefaultEnergyModel().Energy(s),
+	}
+}
+
+// BranchEstimate is one estimated branch edge.
+type BranchEstimate struct {
+	// FromBlock and ToBlock are CFG block IDs within the procedure.
+	FromBlock, ToBlock int
+	// Prob is the Code Tomography estimate; Oracle is the simulator's
+	// ground truth for the same run.
+	Prob, Oracle float64
+	// Ambiguity is the structural identifiability diagnostic for the
+	// source branch (tomography.Model.BranchAmbiguity): mass of execution
+	// paths whose durations cannot reveal this branch's direction at the
+	// measured timer resolution. Values near 1 mean Prob should not be
+	// trusted even when the estimator converged.
+	Ambiguity float64
+}
+
+// ProcEstimate is the estimation outcome for one procedure.
+type ProcEstimate struct {
+	Proc string
+	// SampleCount is the number of duration observations used.
+	SampleCount int
+	// Branches lists the branch edges with estimated and true
+	// probabilities; empty when the procedure was below MinSamples and
+	// fell back to static heuristics.
+	Branches []BranchEstimate
+	// MAE is the mean absolute error against the oracle.
+	MAE float64
+	// Fallback reports the static heuristic was used instead.
+	Fallback bool
+}
+
+// Result is the outcome of one full pipeline run.
+type Result struct {
+	// Estimates holds per-procedure estimation results (procedures with
+	// branches only).
+	Estimates []ProcEstimate
+	// Before and After are the uninstrumented runs under the original and
+	// the tomography-optimized layout, on the identical workload.
+	Before, After RunStats
+	// Output is the optimized binary's debug-port output (must equal the
+	// original's; the pipeline verifies this).
+	Output []uint16
+}
+
+// MispredictReduction returns the relative misprediction-rate improvement
+// (0.25 = 25% fewer mispredicts per branch).
+func (r *Result) MispredictReduction() float64 {
+	b := r.Before.MispredictRate()
+	if b == 0 {
+		return 0
+	}
+	return (b - r.After.MispredictRate()) / b
+}
+
+// Speedup returns Before.Cycles / After.Cycles.
+func (r *Result) Speedup() float64 {
+	if r.After.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Before.Cycles) / float64(r.After.Cycles)
+}
+
+// ErrOutputChanged reports that the optimized binary produced different
+// output — a pipeline bug, never expected.
+var ErrOutputChanged = errors.New("codetomo: optimized layout changed program output")
+
+// ambiguityWindow is the collision distance used for the identifiability
+// diagnostic: paths closer than ~a quarter tick produce essentially
+// identical tick distributions and carry no separating signal.
+func ambiguityWindow(tickDiv int) float64 {
+	w := float64(tickDiv) / 4
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the full Code Tomography pipeline on MiniC source text.
+func Run(source string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	enum := markov.EnumerateOptions{MaxVisits: cfg.MaxVisits, MaxPaths: 30000}
+
+	newSensor := func() (mote.SampleSource, mote.SampleSource, error) {
+		rng := stats.NewRNG(cfg.Seed)
+		entropy := workload.NewEntropy(stats.NewRNG(cfg.Seed + 7919))
+		if cfg.Sensor != nil {
+			return cfg.Sensor, entropy, nil
+		}
+		s, ok := workload.Named(cfg.Workload, rng)
+		if !ok {
+			return nil, nil, fmt.Errorf("codetomo: unknown workload %q", cfg.Workload)
+		}
+		return s, entropy, nil
+	}
+	execute := func(opts compile.Options) (*compile.Output, *mote.Machine, error) {
+		opts.FuseCompares = cfg.FuseCompares
+		opts.RotateLoops = cfg.RotateLoops
+		out, err := compile.Build(source, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		sensor, entropy, err := newSensor()
+		if err != nil {
+			return nil, nil, err
+		}
+		mc := mote.DefaultConfig()
+		mc.TickDiv = cfg.TickDiv
+		mc.Predictor = cfg.Predictor
+		mc.Sensor = sensor
+		mc.Entropy = entropy
+		m := mote.New(out.Code, mc)
+		if err := m.Run(cfg.MaxCycles); err != nil {
+			return nil, nil, err
+		}
+		return out, m, nil
+	}
+
+	// 1–2. Profile run with timestamp instrumentation.
+	prof, profM, err := execute(compile.Options{Instrument: compile.ModeTimestamps})
+	if err != nil {
+		return nil, err
+	}
+	ivs, err := trace.Extract(profM.Trace())
+	if err != nil {
+		return nil, err
+	}
+	byProc := trace.ExclusiveByProc(ivs)
+
+	// 3. Estimate each procedure.
+	res := &Result{}
+	probs := make(map[string]markov.EdgeProbs)
+	for _, p := range prof.CFG.Procs {
+		pm := prof.Meta.ProcByName[p.Name]
+		if len(p.BranchBlocks()) == 0 {
+			probs[p.Name] = markov.Uniform(p)
+			continue
+		}
+		pe := ProcEstimate{Proc: p.Name, SampleCount: len(byProc[pm.Index])}
+		oracle := profile.OracleProbs(pm, p, profM.BranchStats())
+		var est markov.EdgeProbs
+		var model *tomography.Model
+		if pe.SampleCount >= cfg.MinSamples {
+			m, err := tomography.NewModel(prof, p.Name, cfg.Predictor, enum)
+			if err != nil {
+				return nil, fmt.Errorf("codetomo: model %s: %w", p.Name, err)
+			}
+			samples := trace.DurationsCycles(byProc[pm.Index], cfg.TickDiv)
+			// Trust the path model only when it explains the data —
+			// loops that exceed the unrolling bound show up here.
+			if m.Coverage(samples, float64(cfg.TickDiv)) >= cfg.MinCoverage {
+				est, err = cfg.Estimator.Estimate(m, samples)
+				if err != nil {
+					return nil, fmt.Errorf("codetomo: estimate %s: %w", p.Name, err)
+				}
+				model = m
+			}
+		}
+		if model == nil {
+			// Untrusted estimate: report the fallback and leave this
+			// procedure's layout alone (excluded from probs below).
+			pe.Fallback = true
+			res.Estimates = append(res.Estimates, pe)
+			continue
+		} else {
+			ambiguity := model.BranchAmbiguity(ambiguityWindow(cfg.TickDiv))
+			for _, e := range model.BranchEdgeList() {
+				be := BranchEstimate{
+					FromBlock: int(e[0]), ToBlock: int(e[1]),
+					Prob: est[e], Oracle: oracle[e],
+					Ambiguity: ambiguity[ir.BlockID(e[0])],
+				}
+				pe.Branches = append(pe.Branches, be)
+				d := be.Prob - be.Oracle
+				if d < 0 {
+					d = -d
+				}
+				pe.MAE += d
+			}
+			if len(pe.Branches) > 0 {
+				pe.MAE /= float64(len(pe.Branches))
+			}
+		}
+		probs[p.Name] = est
+		res.Estimates = append(res.Estimates, pe)
+	}
+
+	// 4. Optimize placement and rebuild uninstrumented.
+	plan := layout.PlanAll(prof.CFG, probs)
+	_, beforeM, err := execute(compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_, afterM, err := execute(compile.Options{Layouts: plan.Layouts, BranchHints: plan.Hints})
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Verify semantics and report.
+	before, after := beforeM.DebugOutput(), afterM.DebugOutput()
+	if len(before) != len(after) {
+		return nil, ErrOutputChanged
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			return nil, ErrOutputChanged
+		}
+	}
+	res.Before = runStats(beforeM)
+	res.After = runStats(afterM)
+	res.Output = after
+	return res, nil
+}

@@ -1,0 +1,56 @@
+// Placement strategy shoot-out: compile one benchmark under five block
+// layouts — original, random, static heuristics, Code Tomography, and the
+// exact-profile oracle — and measure mispredictions and cycles on the
+// identical workload. This is Figure 4/5 of the evaluation in miniature.
+//
+//	go run ./examples/placement [app]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"codetomo/internal/apps"
+	"codetomo/internal/bench"
+	"codetomo/internal/mote"
+	"codetomo/internal/report"
+)
+
+func main() {
+	name := "quantize"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	if _, ok := apps.ByName(name); !ok {
+		log.Fatalf("unknown app %q (valid: %v)", name, apps.Names())
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Samples = 3000
+	cfg.Predictor = mote.StaticNotTaken{}
+
+	// FigF4/FigF5 run all eight apps; here we print both metrics for one
+	// app by rendering the rows of each table that match it.
+	f4, err := bench.FigF4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f5, err := bench.FigF5(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick := func(t *report.Table) *report.Table {
+		out := &report.Table{Title: t.Title, Header: t.Header, Note: t.Note}
+		for _, row := range t.Rows {
+			if row[0] == name {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out
+	}
+	fmt.Print(pick(f4).Render())
+	fmt.Println()
+	fmt.Print(pick(f5).Render())
+	fmt.Println("\nfull-suite tables: go run ./cmd/ctbench -exp f4 (and f5)")
+}

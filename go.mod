@@ -1,0 +1,3 @@
+module codetomo
+
+go 1.22

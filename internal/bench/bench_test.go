@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps the experiment tests quick; ctbench uses DefaultConfig.
+func fastConfig() Config {
+	c := DefaultConfig()
+	c.Samples = 400
+	return c
+}
+
+func pctCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a percentage", s)
+	}
+	return v
+}
+
+func floatCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float", s)
+	}
+	return v
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("f4"); !ok {
+		t.Fatal("ByID(f4) missing")
+	}
+	if _, ok := ByID("zz"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if len(SortedIDs()) != len(exps) {
+		t.Fatal("SortedIDs incomplete")
+	}
+}
+
+func TestTableT1(t *testing.T) {
+	tab, err := TableT1(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("T1 rows = %d, want 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if paths := floatCell(t, row[8]); paths < 1 {
+			t.Fatalf("%s: no handler paths", row[0])
+		}
+	}
+}
+
+func TestFigF4QualitativeShape(t *testing.T) {
+	c := fastConfig()
+	tab, err := FigF4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("F4 rows = %d", len(tab.Rows))
+	}
+	// Aggregate check (the paper's headline): ctomo beats original and
+	// random on average, and lands near oracle.
+	var sumOrig, sumRand, sumCT, sumOracle float64
+	for _, row := range tab.Rows {
+		sumOrig += pctCell(t, row[1])
+		sumRand += pctCell(t, row[2])
+		sumCT += pctCell(t, row[4])
+		sumOracle += pctCell(t, row[5])
+	}
+	if !(sumCT < sumOrig) {
+		t.Fatalf("ctomo (%v) not better than original (%v) in aggregate\n%s", sumCT, sumOrig, tab.Render())
+	}
+	if !(sumCT < sumRand) {
+		t.Fatalf("ctomo (%v) not better than random (%v)\n%s", sumCT, sumRand, tab.Render())
+	}
+	if !(sumOracle <= sumCT+1e-9) {
+		t.Fatalf("oracle (%v) worse than ctomo (%v)?\n%s", sumOracle, sumCT, tab.Render())
+	}
+}
+
+func TestTableT2QualitativeShape(t *testing.T) {
+	c := fastConfig()
+	tab, err := TableT2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 { // 8 apps × 2 strategies
+		t.Fatalf("T2 rows = %d", len(tab.Rows))
+	}
+	// Per app: timestamps row precedes edge-counters row; tomography's
+	// runtime overhead must be lower for branch-heavy apps in aggregate.
+	var tsCycles, ecCycles float64
+	for i := 0; i < len(tab.Rows); i += 2 {
+		ts, ec := tab.Rows[i], tab.Rows[i+1]
+		if ts[1] != "timestamps" || ec[1] != "edge-counters" {
+			t.Fatalf("row order wrong: %v / %v", ts, ec)
+		}
+		tsCycles += floatCell(t, ts[4])
+		ecCycles += floatCell(t, ec[4])
+	}
+	if !(tsCycles < ecCycles) {
+		t.Fatalf("timestamps runtime overhead (%v) not below edge counters (%v)\n%s",
+			tsCycles, ecCycles, tab.Render())
+	}
+}
+
+func TestFigF3Shape(t *testing.T) {
+	c := fastConfig()
+	tab, err := FigF3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("F3 rows = %d", len(tab.Rows))
+	}
+	// Error at 10000 samples must be below error at 30 samples for every
+	// app column.
+	for col := 1; col <= 3; col++ {
+		lo := floatCell(t, tab.Rows[0][col])
+		hi := floatCell(t, tab.Rows[len(tab.Rows)-1][col])
+		if !(hi <= lo) {
+			t.Fatalf("column %d error grew with samples: %v -> %v\n%s", col, lo, hi, tab.Render())
+		}
+	}
+}
+
+func TestFigF7AllRegimes(t *testing.T) {
+	tab, err := FigF7(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("F7 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if mae := floatCell(t, row[1]); mae > 0.30 {
+			t.Fatalf("regime %s MAE = %v, implausibly high", row[0], mae)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package cfg
+
+import (
+	"sort"
+
+	"codetomo/internal/ir"
+)
+
+// Dominators computes the immediate-dominator map for reachable blocks
+// using the Cooper–Harvey–Kennedy iterative algorithm. The entry block's
+// immediate dominator is itself.
+func (p *Proc) Dominators() map[ir.BlockID]ir.BlockID {
+	rpo := p.ReversePostorder()
+	index := make(map[ir.BlockID]int, len(rpo))
+	for i, id := range rpo {
+		index[id] = i
+	}
+	preds := p.Preds()
+
+	idom := make(map[ir.BlockID]ir.BlockID, len(rpo))
+	idom[p.Entry] = p.Entry
+
+	intersect := func(a, b ir.BlockID) ir.BlockID {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, id := range rpo {
+			if id == p.Entry {
+				continue
+			}
+			var newIdom ir.BlockID = -1
+			for _, pr := range preds[id] {
+				if _, ok := idom[pr]; !ok {
+					continue // predecessor not yet processed (or unreachable)
+				}
+				if newIdom == -1 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(newIdom, pr)
+				}
+			}
+			if newIdom == -1 {
+				continue
+			}
+			if cur, ok := idom[id]; !ok || cur != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom map.
+func Dominates(idom map[ir.BlockID]ir.BlockID, a, b ir.BlockID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		parent, ok := idom[b]
+		if !ok || parent == b {
+			return false
+		}
+		b = parent
+	}
+}
+
+// Loop describes a natural loop: its header and body (header included).
+type Loop struct {
+	Header ir.BlockID
+	Body   map[ir.BlockID]bool
+	// BackEdges lists the edges (tail→header) that define the loop.
+	BackEdges []Edge
+}
+
+// NaturalLoops finds all natural loops: for each back edge t→h (where h
+// dominates t), the loop body is h plus all blocks that can reach t without
+// passing through h. Loops sharing a header are merged.
+func (p *Proc) NaturalLoops() []Loop {
+	idom := p.Dominators()
+	reach := p.Reachable()
+	preds := p.Preds()
+
+	loops := make(map[ir.BlockID]*Loop)
+	for _, e := range p.Edges() {
+		if !reach[e.From] || !reach[e.To] {
+			continue
+		}
+		if !Dominates(idom, e.To, e.From) {
+			continue
+		}
+		h := e.To
+		l, ok := loops[h]
+		if !ok {
+			l = &Loop{Header: h, Body: map[ir.BlockID]bool{h: true}}
+			loops[h] = l
+		}
+		l.BackEdges = append(l.BackEdges, e)
+		// Walk backwards from the tail collecting the body.
+		stack := []ir.BlockID{e.From}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Body[n] {
+				continue
+			}
+			l.Body[n] = true
+			for _, pr := range preds[n] {
+				if reach[pr] {
+					stack = append(stack, pr)
+				}
+			}
+		}
+	}
+
+	out := make([]Loop, 0, len(loops))
+	for _, l := range loops {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Header < out[j].Header })
+	return out
+}
+
+// LoopBackEdgeSet returns the set of back edges across all natural loops,
+// keyed by (from,to). The Ball–Larus heuristic and the layout pass use it.
+func (p *Proc) LoopBackEdgeSet() map[[2]ir.BlockID]bool {
+	set := make(map[[2]ir.BlockID]bool)
+	for _, l := range p.NaturalLoops() {
+		for _, e := range l.BackEdges {
+			set[[2]ir.BlockID{e.From, e.To}] = true
+		}
+	}
+	return set
+}

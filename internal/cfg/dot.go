@@ -1,0 +1,45 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the procedure's CFG in Graphviz DOT syntax, with optional
+// edge annotations (e.g. probabilities) keyed by [from,to] pairs.
+func (p *Proc) DOT(edgeLabels map[[2]int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.Name)
+	b.WriteString("  node [shape=box fontname=monospace];\n")
+	for _, blk := range p.Blocks {
+		var body strings.Builder
+		fmt.Fprintf(&body, "%v (%s)\\l", blk.ID, blk.Label)
+		for _, in := range blk.Instrs {
+			body.WriteString(escapeDOT(in.String()))
+			body.WriteString("\\l")
+		}
+		body.WriteString(escapeDOT(blk.Term.String()))
+		body.WriteString("\\l")
+		shape := ""
+		if blk.ID == p.Entry {
+			shape = " penwidth=2"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", int(blk.ID), body.String(), shape)
+	}
+	for _, e := range p.Edges() {
+		label := ""
+		if edgeLabels != nil {
+			if s, ok := edgeLabels[[2]int{int(e.From), int(e.To)}]; ok {
+				label = fmt.Sprintf(" [label=%q]", s)
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", int(e.From), int(e.To), label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,403 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+	"codetomo/internal/isa"
+)
+
+// globalBase is the first RAM word used for globals (low words are left
+// free as a guard/zero page).
+const globalBase = 32
+
+// Options configures code generation.
+type Options struct {
+	// Instrument selects the profiling instrumentation to insert.
+	Instrument Mode
+	// Layouts optionally overrides the basic-block emission order per
+	// procedure (a permutation of its block IDs). Missing entries use the
+	// natural (lowering) order.
+	Layouts map[string][]ir.BlockID
+	// BranchHints optionally records, per procedure and branch block,
+	// whether the Br's True successor is the likelier one. When a branch
+	// has no fall-through successor under the layout, the backend aims
+	// the conditional branch at the colder arm (and the unconditional JMP
+	// at the hotter one), minimizing mispredictions at equal cycle cost.
+	BranchHints map[string]map[ir.BlockID]bool
+	// FuseCompares enables the compare-branch peephole: a comparison
+	// whose boolean result feeds only the block's branch is emitted as a
+	// single compare-and-branch instruction (BEQ/BNE/BLT/BGE) instead of
+	// materializing the boolean. Ignored in ModeEdgeCounters builds.
+	FuseCompares bool
+	// RotateLoops rewrites natural loops into bottom-test form before
+	// code generation (see RotateLoops), turning loop latches into
+	// backward conditional branches that BTFN-style prediction wins on.
+	RotateLoops bool
+	// Cost is the cycle/size table; nil means isa.DefaultCostModel().
+	Cost *isa.CostModel
+}
+
+// Output is a compiled program: machine code, the timing/placement
+// metadata, and the CFG it was generated from.
+type Output struct {
+	Code []isa.Instr
+	Meta *Meta
+	CFG  *cfg.Program
+}
+
+type callFixup struct {
+	idx  int
+	name string
+}
+
+type branchFixup struct {
+	idx   int
+	block ir.BlockID
+}
+
+type emitter struct {
+	opts Options
+	cost *isa.CostModel
+	prog *cfg.Program
+	code []isa.Instr
+	meta *Meta
+
+	globalScalars map[string]int32
+	globalArrays  map[string]int32
+
+	callFixups []callFixup
+	nextArcID  int32
+}
+
+// Generate emits M16 machine code for a lowered program.
+func Generate(prog *cfg.Program, opts Options) (*Output, error) {
+	if opts.Cost == nil {
+		opts.Cost = isa.DefaultCostModel()
+	}
+	e := &emitter{
+		opts:          opts,
+		cost:          opts.Cost,
+		prog:          prog,
+		globalScalars: make(map[string]int32),
+		globalArrays:  make(map[string]int32),
+		meta: &Meta{
+			ProcByName: make(map[string]*ProcMeta),
+			GlobalAddr: make(map[string]int32),
+			Mode:       opts.Instrument,
+			Cost:       opts.Cost,
+		},
+	}
+	e.layoutGlobals()
+
+	// Startup stub: initialize globals, call main, halt. Global scalar
+	// initializers are applied by the loader in package mote builds? No —
+	// MiniC globals start zeroed; initializers are applied by the caller
+	// of Compile via Meta.GlobalInits encoded here as stub code.
+	e.emitStub()
+
+	for i, p := range prog.Procs {
+		if err := e.genProc(p, i); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve CALL targets.
+	for _, f := range e.callFixups {
+		pm, ok := e.meta.ProcByName[f.name]
+		if !ok {
+			return nil, fmt.Errorf("compile: call to unknown procedure %q", f.name)
+		}
+		e.code[f.idx].Imm = pm.EntryAddr
+	}
+	e.meta.CodeBytes = e.cost.CodeBytes(e.code)
+	e.meta.NumArcCounters = int(e.nextArcID)
+	e.meta.Code = e.code
+	return &Output{Code: e.code, Meta: e.meta, CFG: prog}, nil
+}
+
+func (e *emitter) layoutGlobals() {
+	addr := int32(globalBase)
+	for _, name := range e.prog.Globals {
+		e.globalScalars[name] = addr
+		e.meta.GlobalAddr[name] = addr
+		addr++
+	}
+	names := make([]string, 0, len(e.prog.GlobalArrays))
+	for name := range e.prog.GlobalArrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.globalArrays[name] = addr
+		e.meta.GlobalAddr[name] = addr
+		addr += int32(e.prog.GlobalArrays[name])
+	}
+	e.meta.GlobalWords = int(addr)
+}
+
+// emit appends an instruction and returns its address.
+func (e *emitter) emit(in isa.Instr) int32 {
+	e.code = append(e.code, in)
+	return int32(len(e.code) - 1)
+}
+
+func (e *emitter) cyc(op isa.Op) uint64 { return uint64(e.cost.Cycles[op]) }
+
+// emitStub emits the reset vector: global initialization, CALL main, HALT.
+// Global initializer values must have been folded by the front end; Lower
+// keeps them out of the CFG, so the values are re-derived by the driver and
+// passed via SetGlobalInit before Generate — instead we simply zero-default
+// here and let the driver's stub data (GlobalInits) be emitted directly.
+func (e *emitter) emitStub() {
+	for _, init := range e.prog.GlobalInits {
+		e.emit(isa.Instr{Op: isa.LDI, Rd: isa.RegScratch1, Imm: int32(init.Val)})
+		e.emit(isa.Instr{Op: isa.LDI, Rd: isa.RegScratch2, Imm: e.meta.GlobalAddr[init.Name]})
+		e.emit(isa.Instr{Op: isa.ST, Ra: isa.RegScratch2, Imm: 0, Rb: isa.RegScratch1})
+	}
+	idx := e.emit(isa.Instr{Op: isa.CALL})
+	e.callFixups = append(e.callFixups, callFixup{idx: int(idx), name: "main"})
+	e.emit(isa.Instr{Op: isa.HALT})
+}
+
+func (e *emitter) genProc(p *cfg.Proc, procIdx int) error {
+	fr := newFrame(p)
+	layout := e.opts.Layouts[p.Name]
+	if layout == nil {
+		layout = make([]ir.BlockID, len(p.Blocks))
+		for i := range p.Blocks {
+			layout[i] = ir.BlockID(i)
+		}
+	}
+	if err := validateLayout(p, layout); err != nil {
+		return err
+	}
+
+	pm := &ProcMeta{
+		Name:         p.Name,
+		Index:        procIdx,
+		EntryBlock:   p.Entry,
+		Layout:       append([]ir.BlockID(nil), layout...),
+		BlockAddr:    make(map[ir.BlockID]int32),
+		BlockCycles:  make(map[ir.BlockID]uint64),
+		Edges:        make(map[EdgeKey]EdgeInfo),
+		EnterTraceID: int32(procIdx * 2),
+		ExitTraceID:  int32(procIdx*2 + 1),
+		ArcCounters:  make(map[EdgeKey]int32),
+	}
+	e.meta.Procs = append(e.meta.Procs, pm)
+	e.meta.ProcByName[p.Name] = pm
+
+	var branchFixups []branchFixup
+	timestamps := e.opts.Instrument == ModeTimestamps
+
+	var tempReads []int
+	if e.opts.FuseCompares && e.opts.Instrument != ModeEdgeCounters {
+		tempReads = tempReadCounts(p)
+	}
+
+	for li, bid := range layout {
+		b := p.Block(bid)
+		var next ir.BlockID = -1
+		if li+1 < len(layout) {
+			next = layout[li+1]
+		}
+
+		if bid == p.Entry {
+			// Procedure preamble. EntryOverhead is charged once per
+			// invocation by the timing model.
+			pm.EntryAddr = int32(len(e.code))
+			var over uint64
+			if timestamps {
+				e.emit(isa.Instr{Op: isa.TRACE, Imm: pm.EnterTraceID})
+				over += e.cyc(isa.TRACE)
+			}
+			e.emit(isa.Instr{Op: isa.PUSH, Ra: isa.RegFP})
+			e.emit(isa.Instr{Op: isa.GETSP, Rd: isa.RegFP})
+			over += e.cyc(isa.PUSH) + e.cyc(isa.GETSP)
+			if fr.size > 0 {
+				e.emit(isa.Instr{Op: isa.SPADJ, Imm: -fr.size})
+				over += e.cyc(isa.SPADJ)
+			}
+			pm.EntryOverhead = over
+		}
+		pm.BlockAddr[bid] = int32(len(e.code))
+
+		var fuse *ir.Bin
+		if tempReads != nil {
+			fuse = fusableCompare(p, b, tempReads)
+		}
+		body := b.Instrs
+		if fuse != nil {
+			body = body[:len(body)-1]
+		}
+
+		var cycles uint64
+		for _, in := range body {
+			c, err := e.genInstr(in, fr, timestamps)
+			if err != nil {
+				return fmt.Errorf("compile: %s/%v: %w", p.Name, bid, err)
+			}
+			cycles += c
+		}
+
+		switch t := b.Term.(type) {
+		case ir.Ret:
+			if t.Val >= 0 {
+				e.emit(isa.Instr{Op: isa.LD, Rd: isa.RegRet, Ra: isa.RegFP, Imm: -fr.tempOff(t.Val)})
+				cycles += e.cyc(isa.LD)
+			}
+			// Everything from the exit TRACE on is outside the measured
+			// interval: charged to the caller via its call-site constant.
+			if timestamps {
+				e.emit(isa.Instr{Op: isa.TRACE, Imm: pm.ExitTraceID})
+			}
+			if fr.size > 0 {
+				e.emit(isa.Instr{Op: isa.SPADJ, Imm: fr.size})
+			}
+			e.emit(isa.Instr{Op: isa.POP, Rd: isa.RegFP})
+			e.emit(isa.Instr{Op: isa.RET})
+
+		case ir.Halt:
+			e.emit(isa.Instr{Op: isa.HALT})
+			cycles += e.cyc(isa.HALT)
+
+		case ir.Jmp:
+			viaJmp := t.Target != next
+			if viaJmp {
+				idx := e.emit(isa.Instr{Op: isa.JMP})
+				branchFixups = append(branchFixups, branchFixup{idx: int(idx), block: t.Target})
+			}
+			pm.Edges[EdgeKey{From: bid, To: t.Target}] = EdgeInfo{BranchPC: -1, ViaJmp: viaJmp}
+
+		case ir.Br:
+			hotTrue := e.opts.BranchHints[p.Name][bid]
+			switch {
+			case e.opts.Instrument == ModeEdgeCounters:
+				e.emit(isa.Instr{Op: isa.LD, Rd: isa.RegScratch1, Ra: isa.RegFP, Imm: -fr.tempOff(t.Cond)})
+				cycles += e.cyc(isa.LD)
+				cycles += e.genCountedBranch(pm, bid, t, next, &branchFixups)
+			case fuse != nil:
+				e.emit(isa.Instr{Op: isa.LD, Rd: isa.RegScratch1, Ra: isa.RegFP, Imm: -fr.tempOff(fuse.A)})
+				e.emit(isa.Instr{Op: isa.LD, Rd: isa.RegScratch2, Ra: isa.RegFP, Imm: -fr.tempOff(fuse.B)})
+				cycles += 2 * e.cyc(isa.LD)
+				cycles += e.genFusedBranch(pm, bid, t, fuse.Op, next, hotTrue, &branchFixups)
+			default:
+				e.emit(isa.Instr{Op: isa.LD, Rd: isa.RegScratch1, Ra: isa.RegFP, Imm: -fr.tempOff(t.Cond)})
+				cycles += e.cyc(isa.LD)
+				cycles += e.genBranch(pm, bid, t, next, hotTrue, &branchFixups)
+			}
+
+		default:
+			return fmt.Errorf("compile: %s/%v: unknown terminator %T", p.Name, bid, b.Term)
+		}
+		pm.BlockCycles[bid] = cycles
+	}
+	pm.EndAddr = int32(len(e.code))
+
+	// Resolve intra-procedure branch targets.
+	for _, f := range branchFixups {
+		addr, ok := pm.BlockAddr[f.block]
+		if !ok {
+			return fmt.Errorf("compile: %s: fixup to unknown block %v", p.Name, f.block)
+		}
+		e.code[f.idx].Imm = addr
+	}
+	return nil
+}
+
+// genBranch emits the conditional control transfer for a Br whose condition
+// is already in scratch register r1, records edge metadata, and returns the
+// cycles charged to the block (the branch's base cost; direction-dependent
+// costs go to the edges). When neither successor is the next block, the
+// polarity hint decides which arm gets the conditional branch: aiming it at
+// the colder arm makes the hot arm an always-JMP (never mispredicted).
+func (e *emitter) genBranch(pm *ProcMeta, bid ir.BlockID, t ir.Br, next ir.BlockID, hotTrue bool, fixups *[]branchFixup) uint64 {
+	switch {
+	case t.False == next:
+		pc := e.emit(isa.Instr{Op: isa.BNZ, Ra: isa.RegScratch1})
+		*fixups = append(*fixups, branchFixup{idx: int(pc), block: t.True})
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false}
+		return e.cyc(isa.BNZ)
+	case t.True == next:
+		pc := e.emit(isa.Instr{Op: isa.BZ, Ra: isa.RegScratch1})
+		*fixups = append(*fixups, branchFixup{idx: int(pc), block: t.False})
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false}
+		return e.cyc(isa.BZ)
+	case hotTrue:
+		// Conditional branch targets the cold False arm; hot True arm
+		// leaves via the unconditional JMP.
+		pc := e.emit(isa.Instr{Op: isa.BZ, Ra: isa.RegScratch1})
+		*fixups = append(*fixups, branchFixup{idx: int(pc), block: t.False})
+		jmp := e.emit(isa.Instr{Op: isa.JMP})
+		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.True})
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		return e.cyc(isa.BZ)
+	default:
+		pc := e.emit(isa.Instr{Op: isa.BNZ, Ra: isa.RegScratch1})
+		*fixups = append(*fixups, branchFixup{idx: int(pc), block: t.True})
+		jmp := e.emit(isa.Instr{Op: isa.JMP})
+		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.False})
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		return e.cyc(isa.BNZ)
+	}
+}
+
+// genCountedBranch is the ModeEdgeCounters variant: each arc increments a
+// dedicated PROFCNT counter before transferring.
+//
+//	bz r1, Lfalse
+//	profcnt trueID ; jmp True
+//	Lfalse: profcnt falseID ; jmp False (or fall through)
+func (e *emitter) genCountedBranch(pm *ProcMeta, bid ir.BlockID, t ir.Br, next ir.BlockID, fixups *[]branchFixup) uint64 {
+	trueID := e.nextArcID
+	falseID := e.nextArcID + 1
+	e.nextArcID += 2
+	pm.ArcCounters[EdgeKey{From: bid, To: t.True}] = trueID
+	pm.ArcCounters[EdgeKey{From: bid, To: t.False}] = falseID
+
+	pc := e.emit(isa.Instr{Op: isa.BZ, Ra: isa.RegScratch1})
+	e.emit(isa.Instr{Op: isa.PROFCNT, Imm: trueID})
+	jt := e.emit(isa.Instr{Op: isa.JMP})
+	*fixups = append(*fixups, branchFixup{idx: int(jt), block: t.True})
+	e.code[pc].Imm = int32(len(e.code)) // Lfalse
+	e.emit(isa.Instr{Op: isa.PROFCNT, Imm: falseID})
+	falseViaJmp := t.False != next
+	if falseViaJmp {
+		jf := e.emit(isa.Instr{Op: isa.JMP})
+		*fixups = append(*fixups, branchFixup{idx: int(jf), block: t.False})
+	}
+	pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{
+		BranchPC: pc, Taken: false, ViaJmp: true,
+		Extra: uint64(e.cost.Cycles[isa.PROFCNT]),
+	}
+	pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{
+		BranchPC: pc, Taken: true, ViaJmp: falseViaJmp,
+		Extra: uint64(e.cost.Cycles[isa.PROFCNT]),
+	}
+	return e.cyc(isa.BZ)
+}
+
+// validateLayout checks that layout is a permutation of the procedure's
+// block IDs.
+func validateLayout(p *cfg.Proc, layout []ir.BlockID) error {
+	if len(layout) != len(p.Blocks) {
+		return fmt.Errorf("compile: %s: layout has %d blocks, want %d", p.Name, len(layout), len(p.Blocks))
+	}
+	seen := make(map[ir.BlockID]bool, len(layout))
+	for _, id := range layout {
+		if int(id) < 0 || int(id) >= len(p.Blocks) {
+			return fmt.Errorf("compile: %s: layout references unknown block %v", p.Name, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("compile: %s: layout repeats block %v", p.Name, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}

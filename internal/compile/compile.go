@@ -1,0 +1,63 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"codetomo/internal/minic"
+)
+
+// Build compiles MiniC source text end to end: parse, check, lower,
+// generate. It is the entry point the tools and the evaluation harness use.
+func Build(src string, opts Options) (*Output, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(f); err != nil {
+		return nil, err
+	}
+	prog, err := Lower(f)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RotateLoops {
+		RotateLoops(prog)
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("compile: loop rotation produced invalid CFG: %w", err)
+		}
+	}
+	return Generate(prog, opts)
+}
+
+// Listing renders the generated code as an annotated assembly listing with
+// procedure and block boundaries marked.
+func (o *Output) Listing() string {
+	type mark struct {
+		proc  string
+		block string
+	}
+	marks := make(map[int32]mark)
+	for _, pm := range o.Meta.Procs {
+		p := o.CFG.Proc(pm.Name)
+		marks[pm.EntryAddr] = mark{proc: pm.Name}
+		for id, addr := range pm.BlockAddr {
+			m := marks[addr]
+			m.block = fmt.Sprintf("%s/%v (%s)", pm.Name, id, p.Block(id).Label)
+			marks[addr] = m
+		}
+	}
+	var b strings.Builder
+	for i, in := range o.Code {
+		if m, ok := marks[int32(i)]; ok {
+			if m.proc != "" {
+				fmt.Fprintf(&b, "\n%s:\n", m.proc)
+			}
+			if m.block != "" {
+				fmt.Fprintf(&b, "  .%s:\n", m.block)
+			}
+		}
+		fmt.Fprintf(&b, "%5d: %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,497 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/mote"
+)
+
+type seqSource struct {
+	vals []uint16
+	i    int
+}
+
+func (s *seqSource) Next() uint16 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+
+// exec compiles and runs a program, returning the machine for inspection.
+func exec(t *testing.T, src string, opts Options, sensor []uint16) *mote.Machine {
+	t.Helper()
+	out, err := Build(src, opts)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cfg := mote.DefaultConfig()
+	cfg.Sensor = &seqSource{vals: sensor}
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.Listing())
+	}
+	return m
+}
+
+// debugWords runs the program and returns the debug port capture.
+func debugWords(t *testing.T, src string, opts Options, sensor []uint16) []uint16 {
+	t.Helper()
+	return exec(t, src, opts, sensor).DebugOutput()
+}
+
+func wantDebug(t *testing.T, got []uint16, want ...uint16) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("debug = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("debug = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmeticEndToEnd(t *testing.T) {
+	src := `
+func main() {
+	debug(2 + 3 * 4);       // 14 (folded)
+	var a int;
+	var b int;
+	a = sense();            // 10
+	b = sense();            // 3
+	debug(a + b);           // 13
+	debug(a - b);           // 7
+	debug(a * b);           // 30
+	debug(a / b);           // 3
+	debug(a % b);           // 1
+	debug(a < b);           // 0
+	debug(a > b);           // 1
+	debug(a <= b);          // 0
+	debug(a >= b);          // 1
+	debug(a == b);          // 0
+	debug(a != b);          // 1
+	debug(a & b);           // 2
+	debug(a | b);           // 11
+	debug(a ^ b);           // 9
+	debug(a << b);          // 80
+	debug(a >> 1);          // 5
+	debug(-a + 11);         // 1
+	debug(!b);              // 0
+	debug(!0 + 1);          // 2
+	debug(~a & 15);         // 5
+}`
+	got := debugWords(t, src, Options{}, []uint16{10, 3})
+	wantDebug(t, got, 14, 13, 7, 30, 3, 1, 0, 1, 0, 1, 0, 1, 2, 11, 9, 80, 5, 1, 0, 2, 5)
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	src := `
+func main() {
+	var a int;
+	a = 0 - 7;
+	debug(a / 2 + 100);  // -3 + 100 = 97
+	debug(a % 2 + 100);  // -1 + 100 = 99
+	debug(a >> 1);       // arithmetic: -4 → 0xFFFC
+	debug(a < 0);        // 1
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 97, 99, 0xFFFC, 1)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+var base int = 40 + 2;
+var arr[5] int;
+var scratch int;
+
+func fill(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		arr[i] = base + i;
+	}
+}
+
+func main() {
+	var local[3] int;
+	var i int;
+	fill(5);
+	debug(arr[0]);  // 42
+	debug(arr[4]);  // 46
+	for (i = 0; i < 3; i = i + 1) {
+		local[i] = arr[i] * 2;
+	}
+	debug(local[2]); // 88
+	scratch = arr[1] + local[0];
+	debug(scratch);  // 43 + 84 = 127
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 42, 46, 88, 127)
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	src := `
+func add3(a int, b int, c int) int {
+	return a + b + c;
+}
+
+func fib(n int) int {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+	debug(add3(1, 2, 3));  // 6
+	debug(fib(10));        // 55
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 6, 55)
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func main() {
+	var i int;
+	var sum int;
+	sum = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i == 3) { continue; }
+		if (i == 7) { break; }
+		sum = sum + i;
+	}
+	debug(sum); // 0+1+2+4+5+6 = 18
+	i = 0;
+	while (i < 100) {
+		i = i + 17;
+	}
+	debug(i); // 102
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 18, 102)
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+var hits int;
+
+func bump() int {
+	hits = hits + 1;
+	return 1;
+}
+
+func main() {
+	var x int;
+	x = 0 && bump();   // rhs not evaluated
+	debug(x);          // 0
+	debug(hits);       // 0
+	x = 1 && bump();   // rhs evaluated
+	debug(x);          // 1
+	debug(hits);       // 1
+	x = 1 || bump();   // rhs not evaluated
+	debug(x);          // 1
+	debug(hits);       // 1
+	x = 0 || bump();   // rhs evaluated
+	debug(x);          // 1
+	debug(hits);       // 2
+	x = 0 || 0;
+	debug(x);          // 0
+	x = 5 && 7;        // normalized to 1
+	debug(x);          // 1
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 0, 0, 1, 1, 1, 1, 1, 2, 0, 1)
+}
+
+func TestBuiltinsEndToEnd(t *testing.T) {
+	src := `
+func main() {
+	led(5);
+	send(777);
+	debug(rand());
+}`
+	m := exec(t, src, Options{}, nil)
+	if m.LED() != 5 {
+		t.Fatalf("led = %d", m.LED())
+	}
+	s := m.Stats()
+	if s.RadioPackets != 1 || s.RadioWords != 1 {
+		t.Fatalf("radio stats = %+v", s)
+	}
+}
+
+const branchyProgram = `
+var count int;
+
+func step(v int) int {
+	var r int;
+	if (v > 500) {
+		r = v - 500;
+	} else {
+		r = v + 13;
+	}
+	while (r > 100) {
+		r = r - 100;
+	}
+	return r;
+}
+
+func main() {
+	var i int;
+	var acc int;
+	acc = 0;
+	for (i = 0; i < 20; i = i + 1) {
+		acc = acc + step(sense());
+	}
+	debug(acc);
+}`
+
+func sensorRamp(n int) []uint16 {
+	vals := make([]uint16, n)
+	for i := range vals {
+		vals[i] = uint16((i * 137) % 1024)
+	}
+	return vals
+}
+
+// TestLayoutPreservesSemantics is the key placement-correctness property:
+// any block permutation must produce identical program output.
+func TestLayoutPreservesSemantics(t *testing.T) {
+	base, err := Build(branchyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := debugWords(t, branchyProgram, Options{}, sensorRamp(64))
+
+	// Reverse every procedure's non-entry blocks — a hostile layout.
+	layouts := make(map[string][]ir.BlockID)
+	for _, p := range base.CFG.Procs {
+		order := []ir.BlockID{p.Entry}
+		for i := len(p.Blocks) - 1; i >= 0; i-- {
+			if ir.BlockID(i) != p.Entry {
+				order = append(order, ir.BlockID(i))
+			}
+		}
+		layouts[p.Name] = order
+	}
+	got := debugWords(t, branchyProgram, Options{Layouts: layouts}, sensorRamp(64))
+	wantDebug(t, got, ref...)
+}
+
+func TestLayoutChangesTakenBranches(t *testing.T) {
+	base, err := Build(branchyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := make(map[string][]ir.BlockID)
+	for _, p := range base.CFG.Procs {
+		order := []ir.BlockID{p.Entry}
+		for i := len(p.Blocks) - 1; i >= 0; i-- {
+			if ir.BlockID(i) != p.Entry {
+				order = append(order, ir.BlockID(i))
+			}
+		}
+		layouts[p.Name] = order
+	}
+	m1 := exec(t, branchyProgram, Options{}, sensorRamp(64))
+	m2 := exec(t, branchyProgram, Options{Layouts: layouts}, sensorRamp(64))
+	if m1.Stats().CondBranches != m2.Stats().CondBranches {
+		t.Fatalf("layout changed branch count: %d vs %d",
+			m1.Stats().CondBranches, m2.Stats().CondBranches)
+	}
+	if m1.Stats().TakenBranches == m2.Stats().TakenBranches {
+		t.Fatal("hostile layout did not change taken-branch count; placement has no effect to optimize")
+	}
+}
+
+func TestInvalidLayouts(t *testing.T) {
+	out, err := Build(branchyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := out.CFG.Procs[0].Name
+	n := len(out.CFG.Procs[0].Blocks)
+	bad := [][]ir.BlockID{
+		{},                    // wrong length
+		make([]ir.BlockID, n), // all zeros: repeats
+	}
+	for _, layout := range bad {
+		_, err := Build(branchyProgram, Options{Layouts: map[string][]ir.BlockID{name: layout}})
+		if err == nil {
+			t.Errorf("layout %v accepted", layout)
+		}
+	}
+}
+
+func TestInstrumentationTrace(t *testing.T) {
+	out, err := Build(branchyProgram, Options{Instrument: ModeTimestamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mote.DefaultConfig()
+	cfg.Sensor = &seqSource{vals: sensorRamp(64)}
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	// main enter/exit + 20 step enter/exit pairs.
+	stepMeta := out.Meta.ProcByName["step"]
+	enters, exits := 0, 0
+	for _, ev := range tr {
+		switch ev.ID {
+		case stepMeta.EnterTraceID:
+			enters++
+		case stepMeta.ExitTraceID:
+			exits++
+		}
+	}
+	if enters != 20 || exits != 20 {
+		t.Fatalf("step enter/exit = %d/%d, want 20/20", enters, exits)
+	}
+	// Instrumented and plain builds must produce identical output.
+	plain := debugWords(t, branchyProgram, Options{}, sensorRamp(64))
+	if m.DebugOutput()[0] != plain[0] {
+		t.Fatal("instrumentation changed program semantics")
+	}
+}
+
+func TestEdgeCounterInstrumentation(t *testing.T) {
+	out, err := Build(branchyProgram, Options{Instrument: ModeEdgeCounters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Meta.NumArcCounters == 0 {
+		t.Fatal("no arc counters allocated")
+	}
+	cfg := mote.DefaultConfig()
+	cfg.Sensor = &seqSource{vals: sensorRamp(64)}
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// The if in step has both arcs; their counter sum must be 20.
+	stepMeta := out.Meta.ProcByName["step"]
+	p := out.CFG.Proc("step")
+	var ifEdges []EdgeKey
+	for _, bb := range p.BranchBlocks() {
+		for _, s := range p.Block(bb).Succs() {
+			ifEdges = append(ifEdges, EdgeKey{From: bb, To: s})
+		}
+	}
+	if len(ifEdges) < 4 {
+		t.Fatalf("expected >= 2 branch blocks in step, edges = %v", ifEdges)
+	}
+	counters := m.ProfileCounters()
+	sum := uint64(0)
+	first := p.BranchBlocks()[0]
+	for _, ek := range ifEdges {
+		if ek.From == first {
+			sum += counters[stepMeta.ArcCounters[ek]]
+		}
+	}
+	if sum != 20 {
+		t.Fatalf("if-arc counters sum = %d, want 20", sum)
+	}
+	// Semantics preserved.
+	plain := debugWords(t, branchyProgram, Options{}, sensorRamp(64))
+	if m.DebugOutput()[0] != plain[0] {
+		t.Fatal("edge counters changed program semantics")
+	}
+}
+
+func TestArcCountersMatchOracle(t *testing.T) {
+	// The PROFCNT arc counts must equal the simulator's ground-truth
+	// branch statistics read through the edge metadata.
+	out, err := Build(branchyProgram, Options{Instrument: ModeEdgeCounters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mote.DefaultConfig()
+	cfg.Sensor = &seqSource{vals: sensorRamp(64)}
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	counters := m.ProfileCounters()
+	for _, pm := range out.Meta.Procs {
+		for ek, id := range pm.ArcCounters {
+			info := pm.Edges[ek]
+			st := m.BranchStats()[info.BranchPC]
+			if st == nil {
+				if counters[id] != 0 {
+					t.Fatalf("%s %v: counter %d nonzero but branch never executed", pm.Name, ek, counters[id])
+				}
+				continue
+			}
+			want := st.NotTaken
+			if info.Taken {
+				want = st.Taken
+			}
+			if counters[id] != want {
+				t.Fatalf("%s %v: counter = %d, oracle = %d", pm.Name, ek, counters[id], want)
+			}
+		}
+	}
+}
+
+func TestListing(t *testing.T) {
+	out, err := Build(branchyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.Listing()
+	for _, want := range []string{"main:", "step:", "call", "ret"} {
+		if !strings.Contains(l, want) {
+			t.Fatalf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+func TestLowerProducesValidCFG(t *testing.T) {
+	out, err := Build(branchyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CFG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Entry must have no predecessors (backend invariant).
+	for _, p := range out.CFG.Procs {
+		if preds := p.Preds()[p.Entry]; len(preds) != 0 {
+			t.Fatalf("%s: entry has predecessors %v", p.Name, preds)
+		}
+	}
+	// step must contain a loop.
+	if loops := out.CFG.Proc("step").NaturalLoops(); len(loops) != 1 {
+		t.Fatalf("step loops = %d, want 1", len(loops))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, src := range []string{
+		"func main() { x = 1; }",   // check error
+		"func main() { var x in }", // parse error
+	} {
+		if _, err := Build(src, Options{}); err == nil {
+			t.Errorf("Build(%q) accepted", src)
+		}
+	}
+}
+
+func TestMain16BitWraparound(t *testing.T) {
+	src := `
+func main() {
+	var x int;
+	x = 30000 + 30000;  // wraps to 60000 unsigned / -5536 signed
+	debug(x);
+	debug(x < 0);       // signed comparison sees negative
+}`
+	got := debugWords(t, src, Options{}, nil)
+	wantDebug(t, got, 60000, 1)
+}

@@ -1,0 +1,290 @@
+package compile
+
+// Differential testing: random MiniC programs are executed both by the
+// reference AST interpreter (minic.Interpret) and by the full
+// compiler + mote simulator stack, under every backend option combination
+// and a hostile block layout. The debug-port outputs must agree exactly.
+// This is the strongest whole-compiler correctness check in the suite.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/minic"
+	"codetomo/internal/mote"
+	"codetomo/internal/stats"
+)
+
+// progGen emits random well-formed, terminating, fault-free MiniC.
+type progGen struct {
+	rng    *stats.RNG
+	b      strings.Builder
+	indent int
+	vars   []string // scalars in scope (assignable)
+	ro     []string // read-only scalars in scope (loop counters)
+	nextID int
+}
+
+func (g *progGen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *progGen) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+// expr emits a random expression over the variables in scope.
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Float64() < 0.3 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(2000)-1000)
+		case 1:
+			if len(g.vars) > 0 {
+				return g.vars[g.rng.Intn(len(g.vars))]
+			}
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		case 2:
+			if len(g.ro) > 0 {
+				return g.ro[g.rng.Intn(len(g.ro))]
+			}
+			return "sense()"
+		default:
+			if g.rng.Bernoulli(0.5) {
+				return "sense()"
+			}
+			return "rand()"
+		}
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		// Division and modulo only by nonzero constants: the generator
+		// must never build a faulting program.
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.rng.Intn(7))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	case 5:
+		ops := []string{"&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(3)], g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s >> %d)", g.expr(depth-1), g.rng.Intn(4))
+	case 7:
+		return fmt.Sprintf("(%s << %d)", g.expr(depth-1), g.rng.Intn(3))
+	case 8:
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(6)], g.expr(depth-1))
+	case 9:
+		ops := []string{"&&", "||"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(2)], g.expr(depth-1))
+	case 10:
+		ops := []string{"-", "!", "~"}
+		return fmt.Sprintf("(%s%s)", ops[g.rng.Intn(3)], g.expr(depth-1))
+	default:
+		// Array access masked into range.
+		return fmt.Sprintf("garr[(%s) & 7]", g.expr(depth-1))
+	}
+}
+
+// stmts emits a random statement sequence.
+func (g *progGen) stmts(n, depth int) {
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *progGen) stmt(depth int) {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 6 {
+		choice = g.rng.Intn(6)
+	}
+	switch choice {
+	case 0, 1:
+		if len(g.vars) > 0 {
+			v := g.vars[g.rng.Intn(len(g.vars))]
+			g.line("%s = %s;", v, g.expr(2))
+			return
+		}
+		g.line("debug(%s);", g.expr(2))
+	case 2:
+		g.line("garr[(%s) & 7] = %s;", g.expr(1), g.expr(2))
+	case 3:
+		g.line("debug(%s);", g.expr(2))
+	case 4:
+		v := g.fresh("v")
+		g.line("var %s int = %s;", v, g.expr(2))
+		g.vars = append(g.vars, v)
+	case 5:
+		g.line("gsum = gsum + %s;", g.expr(1))
+	case 6, 7:
+		// Variables declared inside a conditional block must not leak
+		// into the enclosing scope: a skipped declaration leaves the
+		// variable uninitialized, which the language leaves undefined.
+		save := len(g.vars)
+		g.line("if (%s) {", g.expr(2))
+		g.indent++
+		g.stmts(1+g.rng.Intn(2), depth-1)
+		g.indent--
+		g.vars = g.vars[:save]
+		if g.rng.Bernoulli(0.5) {
+			g.line("} else {")
+			g.indent++
+			g.stmts(1+g.rng.Intn(2), depth-1)
+			g.indent--
+			g.vars = g.vars[:save]
+		}
+		g.line("}")
+	default:
+		// Bounded counting loop; the counter is read-only inside.
+		c := g.fresh("i")
+		save := len(g.vars)
+		g.line("var %s int;", c)
+		g.line("for (%s = 0; %s < %d; %s = %s + 1) {", c, c, 1+g.rng.Intn(6), c, c)
+		g.ro = append(g.ro, c)
+		g.indent++
+		g.stmts(1+g.rng.Intn(2), depth-1)
+		g.indent--
+		g.ro = g.ro[:len(g.ro)-1]
+		g.vars = g.vars[:save]
+		g.line("}")
+	}
+}
+
+// generate returns a complete random program.
+func generateProgram(seed int64) string {
+	g := &progGen{rng: stats.NewRNG(seed)}
+	g.line("var gsum int = %d;", g.rng.Intn(100))
+	g.line("var garr[8] int;")
+	g.line("")
+
+	// A helper function with parameters and a guaranteed return.
+	g.line("func helper(a int, b int) int {")
+	g.indent++
+	g.vars = []string{"a", "b"}
+	g.stmts(2+g.rng.Intn(3), 2)
+	g.line("return %s;", g.expr(2))
+	g.indent--
+	g.line("}")
+	g.line("")
+
+	g.line("func main() {")
+	g.indent++
+	g.vars = nil
+	g.stmts(3+g.rng.Intn(4), 2)
+	g.line("debug(helper(%s, %s));", g.expr(1), g.expr(1))
+	g.stmts(2, 2)
+	g.line("debug(gsum);")
+	g.indent--
+	g.line("}")
+	return g.b.String()
+}
+
+// scripted replays a fixed value sequence (shared by both executions).
+type scripted struct {
+	vals []uint16
+	i    *int
+}
+
+func (s scripted) Next() uint16 {
+	v := s.vals[*s.i%len(s.vals)]
+	*s.i++
+	return v
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	variants := []Options{
+		{},
+		{FuseCompares: true},
+		{RotateLoops: true},
+		{FuseCompares: true, RotateLoops: true},
+		{Instrument: ModeTimestamps, FuseCompares: true},
+		{Instrument: ModeEdgeCounters},
+	}
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := generateProgram(seed)
+		f, err := minic.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated invalid program: %v\n%s", seed, err, src)
+		}
+		if err := minic.Check(f); err != nil {
+			t.Fatalf("seed %d: generated ill-typed program: %v\n%s", seed, err, src)
+		}
+
+		// Shared deterministic peripheral sequences.
+		rng := stats.NewRNG(1000 + seed)
+		senseVals := make([]uint16, 64)
+		randVals := make([]uint16, 64)
+		for i := range senseVals {
+			senseVals[i] = uint16(rng.Intn(1024))
+			randVals[i] = uint16(rng.Intn(1 << 16))
+		}
+
+		// Reference run.
+		var want []uint16
+		si, ri := 0, 0
+		env := minic.Env{
+			Sense: scripted{senseVals, &si}.Next,
+			Rand:  scripted{randVals, &ri}.Next,
+			Debug: func(v uint16) { want = append(want, v) },
+		}
+		if err := minic.Interpret(f, env, 0); err != nil {
+			t.Fatalf("seed %d: reference interpreter failed: %v\n%s", seed, err, src)
+		}
+
+		for vi, opts := range variants {
+			out, err := Build(src, opts)
+			if err != nil {
+				t.Fatalf("seed %d variant %d: build: %v\n%s", seed, vi, err, src)
+			}
+			// Add a hostile layout on top of the last variant.
+			if vi == len(variants)-1 {
+				layouts := make(map[string][]ir.BlockID)
+				for _, p := range out.CFG.Procs {
+					order := []ir.BlockID{p.Entry}
+					for i := len(p.Blocks) - 1; i >= 0; i-- {
+						if ir.BlockID(i) != p.Entry {
+							order = append(order, ir.BlockID(i))
+						}
+					}
+					layouts[p.Name] = order
+				}
+				opts.Layouts = layouts
+				out, err = Build(src, opts)
+				if err != nil {
+					t.Fatalf("seed %d: hostile layout build: %v", seed, err)
+				}
+			}
+			cfgM := mote.DefaultConfig()
+			s2, r2 := 0, 0
+			cfgM.Sensor = scripted{senseVals, &s2}
+			cfgM.Entropy = scripted{randVals, &r2}
+			m := mote.New(out.Code, cfgM)
+			if err := m.Run(200_000_000); err != nil {
+				t.Fatalf("seed %d variant %d: run: %v\n%s\n%s", seed, vi, err, src, out.Listing())
+			}
+			got := m.DebugOutput()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d variant %d: debug length %d, want %d\n%s", seed, vi, len(got), len(want), src)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d variant %d: debug[%d] = %d, want %d\n%s", seed, vi, i, got[i], want[i], src)
+				}
+			}
+		}
+	}
+}

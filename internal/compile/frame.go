@@ -1,0 +1,91 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// frame resolves names and temps of one procedure to stack-frame offsets.
+//
+// Stack layout (word addresses, FP = r15 points at the saved-FP slot):
+//
+//	FP+2+i : parameter i (pushed right-to-left by the caller)
+//	FP+1   : return address (pushed by CALL)
+//	FP     : caller's saved FP
+//	FP-1.. : local scalars, local arrays, then IR temps
+type frame struct {
+	paramOff  map[string]int32 // FP + off
+	localOff  map[string]int32 // FP - off
+	arrayBase map[string]int32 // element k at FP - base + k
+	tempBase  int32            // temp t at FP - (tempBase + t)
+	size      int32            // words below FP
+}
+
+// newFrame lays out a procedure's frame.
+func newFrame(p *cfg.Proc) *frame {
+	f := &frame{
+		paramOff:  make(map[string]int32),
+		localOff:  make(map[string]int32),
+		arrayBase: make(map[string]int32),
+	}
+	for i, name := range p.Params {
+		f.paramOff[name] = int32(2 + i)
+	}
+	next := int32(1)
+	for _, name := range p.Locals {
+		f.localOff[name] = next
+		next++
+	}
+	// Deterministic array placement.
+	arrays := make([]string, 0, len(p.Arrays))
+	for name := range p.Arrays {
+		arrays = append(arrays, name)
+	}
+	sort.Strings(arrays)
+	for _, name := range arrays {
+		length := int32(p.Arrays[name])
+		f.arrayBase[name] = next + length - 1
+		next += length
+	}
+	f.tempBase = next
+	f.size = next - 1 + int32(p.NumTemp)
+	return f
+}
+
+// tempOff returns the FP-relative (negative direction) offset of a temp.
+func (f *frame) tempOff(t ir.Temp) int32 { return f.tempBase + int32(t) }
+
+// varClass describes how a name resolves in the current procedure.
+type varClass int
+
+const (
+	varParam varClass = iota
+	varLocal
+	varLocalArray
+	varGlobal
+	varGlobalArray
+)
+
+// resolve classifies a variable reference against the frame and the global
+// map, returning its class and offset/address.
+func (f *frame) resolve(name string, globals map[string]int32, globalArrays map[string]int32) (varClass, int32, error) {
+	if off, ok := f.paramOff[name]; ok {
+		return varParam, off, nil
+	}
+	if off, ok := f.localOff[name]; ok {
+		return varLocal, off, nil
+	}
+	if base, ok := f.arrayBase[name]; ok {
+		return varLocalArray, base, nil
+	}
+	if addr, ok := globals[name]; ok {
+		return varGlobal, addr, nil
+	}
+	if addr, ok := globalArrays[name]; ok {
+		return varGlobalArray, addr, nil
+	}
+	return 0, 0, fmt.Errorf("compile: unresolved name %q", name)
+}

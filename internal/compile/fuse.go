@@ -1,0 +1,94 @@
+package compile
+
+import (
+	"codetomo/internal/ir"
+	"codetomo/internal/isa"
+)
+
+// fusedOp maps a comparison operator to the compare-and-branch opcode that
+// transfers when the comparison holds (negate=false) or fails
+// (negate=true), with swap indicating the operands must be exchanged
+// (M16 has BLT/BGE but not BGT/BLE).
+func fusedOp(op ir.Op, negate bool) (mop isa.Op, swap bool) {
+	if negate {
+		switch op {
+		case ir.OpLt:
+			op = ir.OpGe
+		case ir.OpGe:
+			op = ir.OpLt
+		case ir.OpGt:
+			op = ir.OpLe
+		case ir.OpLe:
+			op = ir.OpGt
+		case ir.OpEq:
+			op = ir.OpNe
+		case ir.OpNe:
+			op = ir.OpEq
+		}
+	}
+	switch op {
+	case ir.OpLt:
+		return isa.BLT, false
+	case ir.OpGe:
+		return isa.BGE, false
+	case ir.OpGt:
+		return isa.BLT, true
+	case ir.OpLe:
+		return isa.BGE, true
+	case ir.OpEq:
+		return isa.BEQ, false
+	case ir.OpNe:
+		return isa.BNE, false
+	}
+	// fusableCompare guarantees a comparison operator.
+	panic("compile: fusedOp on non-comparison " + op.String())
+}
+
+// genFusedBranch emits a single compare-and-branch for a Br whose condition
+// was a one-use trailing comparison. The comparison operands are already in
+// scratch registers r1 (A) and r2 (B). Returns the cycles charged to the
+// block.
+func (e *emitter) genFusedBranch(pm *ProcMeta, bid ir.BlockID, t ir.Br, op ir.Op, next ir.BlockID, hotTrue bool, fixups *[]branchFixup) uint64 {
+	const (
+		r1 = isa.RegScratch1
+		r2 = isa.RegScratch2
+	)
+	emitCmp := func(negate bool, target ir.BlockID) int32 {
+		mop, swap := fusedOp(op, negate)
+		ra, rb := r1, r2
+		if swap {
+			ra, rb = r2, r1
+		}
+		pc := e.emit(isa.Instr{Op: mop, Ra: ra, Rb: rb})
+		*fixups = append(*fixups, branchFixup{idx: int(pc), block: target})
+		return pc
+	}
+
+	switch {
+	case t.False == next:
+		// Branch to True when the comparison holds; fall through to False.
+		pc := emitCmp(false, t.True)
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false}
+		return uint64(e.cost.Cycles[e.code[pc].Op])
+	case t.True == next:
+		pc := emitCmp(true, t.False)
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false}
+		return uint64(e.cost.Cycles[e.code[pc].Op])
+	case hotTrue:
+		pc := emitCmp(true, t.False)
+		jmp := e.emit(isa.Instr{Op: isa.JMP})
+		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.True})
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		return uint64(e.cost.Cycles[e.code[pc].Op])
+	default:
+		pc := emitCmp(false, t.True)
+		jmp := e.emit(isa.Instr{Op: isa.JMP})
+		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.False})
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		return uint64(e.cost.Cycles[e.code[pc].Op])
+	}
+}

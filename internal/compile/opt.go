@@ -1,0 +1,99 @@
+package compile
+
+import (
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// removeUnreachable deletes blocks not reachable from the entry and
+// renumbers the survivors densely (block IDs must equal slice indices).
+func removeUnreachable(p *cfg.Proc) {
+	reach := p.Reachable()
+	remap := make(map[ir.BlockID]ir.BlockID, len(reach))
+	var kept []*cfg.Block
+	for _, b := range p.Blocks {
+		if reach[b.ID] {
+			remap[b.ID] = ir.BlockID(len(kept))
+			kept = append(kept, b)
+		}
+	}
+	if len(kept) == len(p.Blocks) {
+		return
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		b.Term = remapTerm(b.Term, remap)
+	}
+	p.Entry = remap[p.Entry]
+	p.Blocks = kept
+}
+
+// threadJumps redirects edges that target empty forwarding blocks (no
+// instructions, unconditional jump) to their final destination, then prunes
+// the now-dead forwarders. It shrinks the CFGs produced by lowering's
+// join/exit scaffolding, which keeps the tomography path enumeration small.
+func threadJumps(p *cfg.Proc) {
+	// Resolve the forwarding target of each block with path compression;
+	// cycles of empty jumps (infinite empty loops) are left alone.
+	target := func(id ir.BlockID) ir.BlockID {
+		seen := map[ir.BlockID]bool{}
+		for {
+			b := p.Block(id)
+			j, ok := b.Term.(ir.Jmp)
+			if !ok || len(b.Instrs) != 0 || seen[id] {
+				return id
+			}
+			seen[id] = true
+			id = j.Target
+		}
+	}
+	remap := make(map[ir.BlockID]ir.BlockID, len(p.Blocks))
+	for _, b := range p.Blocks {
+		remap[b.ID] = target(b.ID)
+	}
+	changed := false
+	for _, b := range p.Blocks {
+		nt := remapTerm(b.Term, remap)
+		if nt != b.Term {
+			b.Term = nt
+			changed = true
+		}
+	}
+	// The entry pointer is deliberately NOT remapped: lowering guarantees
+	// no edges target the entry block, and the backend relies on that
+	// invariant to place the prologue there (an entry with predecessors
+	// would re-execute it).
+	if changed {
+		removeUnreachable(p)
+	}
+	// A conditional branch whose arms were threaded to the same target is
+	// really a jump (the condition's side effects are in the block body,
+	// which is preserved).
+	simplified := false
+	for _, b := range p.Blocks {
+		if br, ok := b.Term.(ir.Br); ok && br.True == br.False {
+			b.Term = ir.Jmp{Target: br.True}
+			simplified = true
+		}
+	}
+	if simplified {
+		removeUnreachable(p)
+	}
+}
+
+func remapTerm(t ir.Terminator, remap map[ir.BlockID]ir.BlockID) ir.Terminator {
+	get := func(id ir.BlockID) ir.BlockID {
+		if n, ok := remap[id]; ok {
+			return n
+		}
+		return id
+	}
+	switch tt := t.(type) {
+	case ir.Jmp:
+		return ir.Jmp{Target: get(tt.Target)}
+	case ir.Br:
+		return ir.Br{Cond: tt.Cond, True: get(tt.True), False: get(tt.False)}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,84 @@
+package compile
+
+import (
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// RotateLoops rewrites every natural loop into bottom-test form: the header
+// keeps its role as the entry guard, and a copy of it (the latch test) is
+// placed at the bottom so back edges become conditional branches out of the
+// loop body. On cores with backward-taken/forward-not-taken prediction this
+// is the classical win; it also shortens the hot path by one unconditional
+// jump per iteration under most layouts.
+//
+//	before:  pre → H(test) → {body → H, exit}
+//	after:   pre → H(test) → {body → H'(test) → {body, exit}, exit}
+//
+// Header instructions are duplicated verbatim — each loop test still
+// executes exactly once per iteration, so side effects (e.g. a sense() in
+// the condition) are preserved.
+func RotateLoops(prog *cfg.Program) {
+	for _, p := range prog.Procs {
+		rotateProc(p)
+	}
+}
+
+func rotateProc(p *cfg.Proc) {
+	// One pass over the loops found on the input CFG: rotation adds
+	// blocks but never creates a new rotatable (top-test) loop, so a
+	// single pass converges.
+	loops := p.NaturalLoops()
+	for _, l := range loops {
+		h := p.Block(l.Header)
+		// Only rotate classic top-test loops: header ends in a
+		// conditional branch with one arm inside and one outside the
+		// loop. Anything else (e.g. infinite loops, multi-exit headers)
+		// is left alone.
+		br, ok := h.Term.(ir.Br)
+		if !ok {
+			continue
+		}
+		inT, inF := l.Body[br.True], l.Body[br.False]
+		if inT == inF {
+			continue
+		}
+
+		// The latch test: a fresh copy of the header.
+		latch := &cfg.Block{
+			ID:     ir.BlockID(len(p.Blocks)),
+			Label:  h.Label + "_latch",
+			Instrs: append([]ir.Instr(nil), h.Instrs...),
+			Term:   br,
+		}
+		p.Blocks = append(p.Blocks, latch)
+
+		// Redirect this loop's back edges to the latch.
+		for _, be := range l.BackEdges {
+			src := p.Block(be.From)
+			src.Term = redirect(src.Term, l.Header, latch.ID)
+		}
+	}
+	removeUnreachable(p)
+	threadJumps(p)
+}
+
+// redirect rewrites occurrences of old with new in a terminator's targets.
+func redirect(t ir.Terminator, old, new ir.BlockID) ir.Terminator {
+	switch tt := t.(type) {
+	case ir.Jmp:
+		if tt.Target == old {
+			return ir.Jmp{Target: new}
+		}
+	case ir.Br:
+		out := tt
+		if out.True == old {
+			out.True = new
+		}
+		if out.False == old {
+			out.False = new
+		}
+		return out
+	}
+	return t
+}

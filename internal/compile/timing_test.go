@@ -1,0 +1,165 @@
+package compile
+
+import (
+	"testing"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/mote"
+	"codetomo/internal/trace"
+)
+
+// TestTimingModelMatchesMeasurement locks the central contract of the whole
+// reproduction: the static timing model (ProcMeta block costs + edge extras
+// + entry overhead + call-site accounting) predicts exactly the exclusive
+// durations the trace instrumentation measures, when the timer quantization
+// is disabled (TickDiv = 1). Everything the tomography estimator does rests
+// on this equality.
+func TestTimingModelMatchesMeasurement(t *testing.T) {
+	src := `
+var g int = 7;
+
+func leaf() int {
+	var x int;
+	x = g * 3 + 1;
+	return x - 2;
+}
+
+func middle(a int) int {
+	var y int;
+	y = leaf() + a;
+	y = y + leaf();
+	return y;
+}
+
+func main() {
+	debug(middle(5));
+	debug(leaf());
+}`
+	out, err := Build(src, Options{Instrument: ModeTimestamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mote.DefaultConfig()
+	cfg.TickDiv = 1
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := trace.Extract(m.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := trace.ExclusiveByProc(ivs)
+
+	pred := cfg.Predictor
+	for _, pm := range out.Meta.Procs {
+		p := out.CFG.Proc(pm.Name)
+		// These procedures are straight-line: the only path is the block
+		// sequence entry→...→ret following unconditional edges.
+		path := []ir.BlockID{p.Entry}
+		for {
+			succs := p.Block(path[len(path)-1]).Succs()
+			if len(succs) == 0 {
+				break
+			}
+			if len(succs) != 1 {
+				t.Fatalf("%s is not straight-line", pm.Name)
+			}
+			path = append(path, succs[0])
+		}
+		want, err := out.Meta.PathCycles(pm, path, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := byProc[pm.Index]
+		if len(samples) == 0 {
+			t.Fatalf("no samples for %s", pm.Name)
+		}
+		for i, got := range samples {
+			if got != want {
+				t.Fatalf("%s invocation %d: measured %d cycles, model %d\npath %v\nblocks %v\n%s",
+					pm.Name, i, got, want, path, pm.BlockCycles, out.Listing())
+			}
+		}
+	}
+}
+
+// TestTimingModelWithBranches drives a procedure with a data-dependent
+// branch down both sides and checks each measured duration equals the model
+// prediction for the corresponding path.
+func TestTimingModelWithBranches(t *testing.T) {
+	src := `
+func classify(v int) int {
+	if (v > 100) {
+		return 1;
+	}
+	return 0;
+}
+
+func main() {
+	debug(classify(sense()));
+	debug(classify(sense()));
+}`
+	out, err := Build(src, Options{Instrument: ModeTimestamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mote.DefaultConfig()
+	cfg.TickDiv = 1
+	cfg.Sensor = &seqSource{vals: []uint16{500, 3}} // taken path, then not
+	m := mote.New(out.Code, cfg)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := trace.Extract(m.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := out.Meta.ProcByName["classify"]
+	p := out.CFG.Proc("classify")
+
+	// Enumerate the two acyclic paths.
+	var paths [][]ir.BlockID
+	var walk func(path []ir.BlockID)
+	walk = func(path []ir.BlockID) {
+		last := p.Block(path[len(path)-1])
+		succs := last.Succs()
+		if len(succs) == 0 {
+			paths = append(paths, append([]ir.BlockID(nil), path...))
+			return
+		}
+		for _, s := range succs {
+			walk(append(path, s))
+		}
+	}
+	walk([]ir.BlockID{p.Entry})
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+
+	times := make(map[uint64]bool)
+	for _, path := range paths {
+		c, err := out.Meta.PathCycles(pm, path, cfg.Predictor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[c] = true
+	}
+	if len(times) != 2 {
+		t.Fatalf("both paths predict the same duration %v; branch timing invisible", times)
+	}
+
+	seen := 0
+	for _, iv := range ivs {
+		if iv.ProcIndex != pm.Index {
+			continue
+		}
+		seen++
+		if !times[iv.ExclusiveTicks()] {
+			t.Fatalf("measured %d cycles not among predicted path times %v", iv.ExclusiveTicks(), times)
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("classify invocations = %d, want 2", seen)
+	}
+}

@@ -1,0 +1,217 @@
+// Package ir defines the mid-level intermediate representation the MiniC
+// compiler lowers to: three-address instructions over virtual registers,
+// organized into basic blocks by package cfg. Block references inside
+// terminators are plain integer block IDs so that ir does not depend on cfg.
+package ir
+
+import "fmt"
+
+// Temp is a virtual register produced by lowering. Temps are numbered
+// densely per procedure starting at 0.
+type Temp int
+
+func (t Temp) String() string { return fmt.Sprintf("t%d", int(t)) }
+
+// BlockID identifies a basic block within a procedure.
+type BlockID int
+
+func (b BlockID) String() string { return fmt.Sprintf("b%d", int(b)) }
+
+// Op enumerates binary and unary operators.
+type Op int
+
+// Binary and unary operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd // bitwise
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpNeg // unary minus
+	OpNot // logical not
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpNeg: "neg", OpNot: "!",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsComparison reports whether the operator yields a boolean 0/1 result.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// Instr is a non-terminator IR instruction.
+type Instr interface {
+	instr()
+	String() string
+}
+
+// Const loads an immediate into a temp.
+type Const struct {
+	Dst Temp
+	Val int
+}
+
+// Mov copies one temp to another.
+type Mov struct {
+	Dst, Src Temp
+}
+
+// Bin computes Dst = A op B.
+type Bin struct {
+	Dst  Temp
+	Op   Op
+	A, B Temp
+}
+
+// Un computes Dst = op A.
+type Un struct {
+	Dst Temp
+	Op  Op
+	A   Temp
+}
+
+// LoadVar reads a named scalar variable (local or global).
+type LoadVar struct {
+	Dst  Temp
+	Name string
+}
+
+// StoreVar writes a named scalar variable (local or global).
+type StoreVar struct {
+	Name string
+	Src  Temp
+}
+
+// LoadIndex reads Array[Idx].
+type LoadIndex struct {
+	Dst   Temp
+	Array string
+	Idx   Temp
+}
+
+// StoreIndex writes Array[Idx] = Src.
+type StoreIndex struct {
+	Array string
+	Idx   Temp
+	Src   Temp
+}
+
+// Call invokes a user procedure. Dst is -1 when the result is unused.
+type Call struct {
+	Dst  Temp
+	Fn   string
+	Args []Temp
+}
+
+// Builtin invokes a hardware intrinsic (sense, send, led, now, rand).
+// Dst is -1 when the intrinsic yields no value or the result is unused.
+type Builtin struct {
+	Dst  Temp
+	Name string
+	Args []Temp
+}
+
+func (Const) instr()      {}
+func (Mov) instr()        {}
+func (Bin) instr()        {}
+func (Un) instr()         {}
+func (LoadVar) instr()    {}
+func (StoreVar) instr()   {}
+func (LoadIndex) instr()  {}
+func (StoreIndex) instr() {}
+func (Call) instr()       {}
+func (Builtin) instr()    {}
+
+func (i Const) String() string    { return fmt.Sprintf("%v = %d", i.Dst, i.Val) }
+func (i Mov) String() string      { return fmt.Sprintf("%v = %v", i.Dst, i.Src) }
+func (i Bin) String() string      { return fmt.Sprintf("%v = %v %v %v", i.Dst, i.A, i.Op, i.B) }
+func (i Un) String() string       { return fmt.Sprintf("%v = %v %v", i.Dst, i.Op, i.A) }
+func (i LoadVar) String() string  { return fmt.Sprintf("%v = %s", i.Dst, i.Name) }
+func (i StoreVar) String() string { return fmt.Sprintf("%s = %v", i.Name, i.Src) }
+func (i LoadIndex) String() string {
+	return fmt.Sprintf("%v = %s[%v]", i.Dst, i.Array, i.Idx)
+}
+func (i StoreIndex) String() string {
+	return fmt.Sprintf("%s[%v] = %v", i.Array, i.Idx, i.Src)
+}
+func (i Call) String() string {
+	return fmt.Sprintf("%v = call %s%v", i.Dst, i.Fn, i.Args)
+}
+func (i Builtin) String() string {
+	return fmt.Sprintf("%v = builtin %s%v", i.Dst, i.Name, i.Args)
+}
+
+// Terminator ends a basic block.
+type Terminator interface {
+	term()
+	String() string
+	// Successors returns the blocks control may transfer to.
+	Successors() []BlockID
+}
+
+// Jmp transfers unconditionally.
+type Jmp struct {
+	Target BlockID
+}
+
+// Br transfers to True when Cond is nonzero, else to False.
+type Br struct {
+	Cond        Temp
+	True, False BlockID
+}
+
+// Ret returns from the procedure; Val is -1 for void returns.
+type Ret struct {
+	Val Temp
+}
+
+// Halt stops the machine (used by main's implicit epilogue).
+type Halt struct{}
+
+func (Jmp) term()  {}
+func (Br) term()   {}
+func (Ret) term()  {}
+func (Halt) term() {}
+
+func (t Jmp) String() string { return fmt.Sprintf("jmp %v", t.Target) }
+func (t Br) String() string {
+	return fmt.Sprintf("br %v ? %v : %v", t.Cond, t.True, t.False)
+}
+func (t Ret) String() string {
+	if t.Val < 0 {
+		return "ret"
+	}
+	return fmt.Sprintf("ret %v", t.Val)
+}
+func (t Halt) String() string { return "halt" }
+
+func (t Jmp) Successors() []BlockID  { return []BlockID{t.Target} }
+func (t Br) Successors() []BlockID   { return []BlockID{t.True, t.False} }
+func (t Ret) Successors() []BlockID  { return nil }
+func (t Halt) Successors() []BlockID { return nil }

@@ -1,0 +1,170 @@
+package markov
+
+import (
+	"math"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// Arc is one traversed edge of a path with its traversal count.
+type Arc struct {
+	Edge  [2]ir.BlockID
+	Count int
+}
+
+// Path is one complete execution path: a block sequence from the entry to
+// a return block.
+type Path struct {
+	Blocks []ir.BlockID
+	// Arcs lists the traversed edges in order of first traversal. All
+	// arithmetic over paths iterates Arcs (never EdgeCounts) so results
+	// are bit-for-bit reproducible across runs.
+	Arcs []Arc
+	// EdgeCounts gives how many times each edge is traversed on the path
+	// (loops can traverse an edge repeatedly). It mirrors Arcs for O(1)
+	// lookup.
+	EdgeCounts map[[2]ir.BlockID]int
+}
+
+// Prob returns the path's probability under the given edge probabilities:
+// the product of edge probabilities over traversals.
+func (p *Path) Prob(probs EdgeProbs) float64 {
+	logp := 0.0
+	for _, a := range p.Arcs {
+		q := probs[a.Edge]
+		if q <= 0 {
+			return 0
+		}
+		logp += float64(a.Count) * math.Log(q)
+	}
+	return math.Exp(logp)
+}
+
+// EnumerateOptions bounds the path enumeration.
+type EnumerateOptions struct {
+	// MaxVisits caps how many times any single block may appear on a path
+	// (the loop unrolling bound). Minimum 1.
+	MaxVisits int
+	// MaxPaths caps the number of paths returned.
+	MaxPaths int
+}
+
+// DefaultEnumerateOptions bounds enumeration to 6 visits per block and
+// 4096 paths — enough for the sensor kernels' CFGs while keeping the EM
+// e-step cheap.
+func DefaultEnumerateOptions() EnumerateOptions {
+	return EnumerateOptions{MaxVisits: 6, MaxPaths: 4096}
+}
+
+// Enumerate lists execution paths of the procedure by depth-first search
+// with a per-block visit cap. truncated reports whether any path was cut
+// off by the caps (its probability mass is missing from the returned set;
+// estimators renormalize over the enumerated paths).
+func Enumerate(p *cfg.Proc, opts EnumerateOptions) (paths []*Path, truncated bool) {
+	if opts.MaxVisits < 1 {
+		opts.MaxVisits = 1
+	}
+	if opts.MaxPaths <= 0 {
+		opts.MaxPaths = 4096
+	}
+	visits := make([]int, len(p.Blocks))
+	var seq []ir.BlockID
+
+	var walk func(id ir.BlockID)
+	walk = func(id ir.BlockID) {
+		if len(paths) >= opts.MaxPaths {
+			truncated = true
+			return
+		}
+		if visits[int(id)] >= opts.MaxVisits {
+			truncated = true
+			return
+		}
+		visits[int(id)]++
+		seq = append(seq, id)
+
+		succs := p.Block(id).Succs()
+		if len(succs) == 0 {
+			path := &Path{
+				Blocks:     append([]ir.BlockID(nil), seq...),
+				EdgeCounts: make(map[[2]ir.BlockID]int),
+			}
+			for i := 0; i+1 < len(path.Blocks); i++ {
+				e := [2]ir.BlockID{path.Blocks[i], path.Blocks[i+1]}
+				if path.EdgeCounts[e] == 0 {
+					path.Arcs = append(path.Arcs, Arc{Edge: e})
+				}
+				path.EdgeCounts[e]++
+			}
+			for i := range path.Arcs {
+				path.Arcs[i].Count = path.EdgeCounts[path.Arcs[i].Edge]
+			}
+			paths = append(paths, path)
+		} else {
+			for _, s := range succs {
+				walk(s)
+			}
+		}
+
+		seq = seq[:len(seq)-1]
+		visits[int(id)]--
+	}
+	walk(p.Entry)
+	return paths, truncated
+}
+
+// PathTime computes a path's deterministic duration from the chain costs.
+func PathTime(path *Path, costs *Costs) float64 {
+	t := costs.EntryOverhead
+	for _, b := range path.Blocks {
+		t += costs.Block[int(b)]
+	}
+	for _, a := range path.Arcs {
+		t += float64(a.Count) * costs.Edge[a.Edge]
+	}
+	return t
+}
+
+// SamplePath draws a random path through the chain (used by tests and the
+// synthetic-chain experiments). rng is any func returning uniform [0,1).
+// maxSteps guards against non-absorbing chains; a nil path is returned if
+// the walk fails to absorb.
+func (c *Chain) SamplePath(rng func() float64, maxSteps int) *Path {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	path := &Path{EdgeCounts: make(map[[2]ir.BlockID]int)}
+	cur := c.proc.Entry
+	path.Blocks = append(path.Blocks, cur)
+	for step := 0; step < maxSteps; step++ {
+		succs := c.proc.Block(cur).Succs()
+		if len(succs) == 0 {
+			return path
+		}
+		u := rng()
+		acc := 0.0
+		next := succs[len(succs)-1]
+		for _, s := range succs {
+			acc += c.probs[[2]ir.BlockID{cur, s}]
+			if u < acc {
+				next = s
+				break
+			}
+		}
+		e := [2]ir.BlockID{cur, next}
+		if path.EdgeCounts[e] == 0 {
+			path.Arcs = append(path.Arcs, Arc{Edge: e})
+		}
+		path.EdgeCounts[e]++
+		for i := range path.Arcs {
+			if path.Arcs[i].Edge == e {
+				path.Arcs[i].Count = path.EdgeCounts[e]
+				break
+			}
+		}
+		path.Blocks = append(path.Blocks, next)
+		cur = next
+	}
+	return nil
+}

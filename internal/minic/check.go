@@ -1,0 +1,382 @@
+package minic
+
+import "fmt"
+
+// symKind classifies names in scope.
+type symKind int
+
+const (
+	symScalar symKind = iota
+	symArray
+	symFunc
+)
+
+type symbol struct {
+	kind     symKind
+	arrayLen int
+	fn       *FuncDecl
+}
+
+// checker walks the AST validating names, arities, l-values, and control
+// placement. MiniC has a single type (16-bit int), so "type checking" is
+// mostly shape checking: scalars vs arrays vs functions, and value vs void
+// contexts.
+type checker struct {
+	file    *File
+	globals map[string]*symbol
+	locals  map[string]*symbol // current function scope (flat, C89-style)
+	fn      *FuncDecl
+	loop    int // loop nesting depth
+}
+
+// Check validates a parsed file. The returned error is the first
+// diagnostic found.
+func Check(f *File) error {
+	c := &checker{file: f, globals: make(map[string]*symbol)}
+
+	for _, g := range f.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errorf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if _, isBuiltin := Builtins[g.Name]; isBuiltin {
+			return errorf(g.Pos, "%q shadows a builtin", g.Name)
+		}
+		s := &symbol{kind: symScalar}
+		if g.ArrayLen > 0 {
+			s.kind = symArray
+			s.arrayLen = g.ArrayLen
+		}
+		if g.Init != nil {
+			if _, err := EvalConst(g.Init); err != nil {
+				return err
+			}
+		}
+		c.globals[g.Name] = s
+	}
+
+	for _, fn := range f.Funcs {
+		if _, dup := c.globals[fn.Name]; dup {
+			return errorf(fn.Pos, "duplicate name %q", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			return errorf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		c.globals[fn.Name] = &symbol{kind: symFunc, fn: fn}
+	}
+
+	main := f.Func("main")
+	if main == nil {
+		return errorf(Pos{1, 1}, "program has no 'main' function")
+	}
+	if len(main.Params) != 0 {
+		return errorf(main.Pos, "'main' must take no parameters")
+	}
+
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.locals = make(map[string]*symbol)
+	c.loop = 0
+	for _, p := range fn.Params {
+		if _, dup := c.locals[p]; dup {
+			return errorf(fn.Pos, "duplicate parameter %q in %q", p, fn.Name)
+		}
+		c.locals[p] = &symbol{kind: symScalar}
+	}
+	if err := c.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	if fn.HasRet && !alwaysReturns(fn.Body) {
+		return errorf(fn.Pos, "function %q declared int but control can reach the end without a return", fn.Name)
+	}
+	return nil
+}
+
+func (c *checker) lookup(name string) *symbol {
+	if s, ok := c.locals[name]; ok {
+		return s
+	}
+	if s, ok := c.globals[name]; ok {
+		return s
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		d := st.Decl
+		if _, dup := c.locals[d.Name]; dup {
+			return errorf(d.Pos, "duplicate local %q", d.Name)
+		}
+		if _, isBuiltin := Builtins[d.Name]; isBuiltin {
+			return errorf(d.Pos, "%q shadows a builtin", d.Name)
+		}
+		sym := &symbol{kind: symScalar}
+		if d.ArrayLen > 0 {
+			sym.kind = symArray
+			sym.arrayLen = d.ArrayLen
+			if d.Init != nil {
+				return errorf(d.Pos, "array %q cannot have an initializer", d.Name)
+			}
+		}
+		if d.Init != nil {
+			if err := c.checkValueExpr(d.Init); err != nil {
+				return err
+			}
+		}
+		c.locals[d.Name] = sym
+		return nil
+	case *AssignStmt:
+		sym := c.lookup(st.Name)
+		if sym == nil {
+			return errorf(st.Pos, "assignment to undeclared %q", st.Name)
+		}
+		switch {
+		case st.Index == nil && sym.kind != symScalar:
+			return errorf(st.Pos, "%q is not a scalar variable", st.Name)
+		case st.Index != nil && sym.kind != symArray:
+			return errorf(st.Pos, "%q is not an array", st.Name)
+		}
+		if st.Index != nil {
+			if err := c.checkValueExpr(st.Index); err != nil {
+				return err
+			}
+		}
+		return c.checkValueExpr(st.Value)
+	case *IfStmt:
+		if err := c.checkValueExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkValueExpr(st.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkValueExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		if c.fn.HasRet && st.Value == nil {
+			return errorf(st.Pos, "function %q must return a value", c.fn.Name)
+		}
+		if !c.fn.HasRet && st.Value != nil {
+			return errorf(st.Pos, "function %q returns no value", c.fn.Name)
+		}
+		if st.Value != nil {
+			return c.checkValueExpr(st.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errorf(st.Pos, "'break' outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errorf(st.Pos, "'continue' outside a loop")
+		}
+		return nil
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return errorf(st.Pos, "expression statement must be a call")
+		}
+		return c.checkCall(call, false)
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// checkValueExpr validates an expression used where a value is needed.
+func (c *checker) checkValueExpr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumLit:
+		return nil
+	case *VarRef:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			return errorf(ex.Pos, "undeclared variable %q", ex.Name)
+		}
+		if sym.kind != symScalar {
+			return errorf(ex.Pos, "%q is not a scalar variable", ex.Name)
+		}
+		return nil
+	case *IndexExpr:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			return errorf(ex.Pos, "undeclared array %q", ex.Name)
+		}
+		if sym.kind != symArray {
+			return errorf(ex.Pos, "%q is not an array", ex.Name)
+		}
+		return c.checkValueExpr(ex.Index)
+	case *BinExpr:
+		if err := c.checkValueExpr(ex.L); err != nil {
+			return err
+		}
+		return c.checkValueExpr(ex.R)
+	case *UnExpr:
+		return c.checkValueExpr(ex.X)
+	case *CallExpr:
+		return c.checkCall(ex, true)
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}
+
+func (c *checker) checkCall(call *CallExpr, needValue bool) error {
+	if b, ok := Builtins[call.Name]; ok {
+		if len(call.Args) != b.Arity {
+			return errorf(call.Pos, "builtin %q takes %d argument(s), got %d", call.Name, b.Arity, len(call.Args))
+		}
+		if needValue && !b.HasRet {
+			return errorf(call.Pos, "builtin %q returns no value", call.Name)
+		}
+		for _, a := range call.Args {
+			if err := c.checkValueExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sym := c.lookup(call.Name)
+	if sym == nil || sym.kind != symFunc {
+		return errorf(call.Pos, "call to undeclared function %q", call.Name)
+	}
+	if len(call.Args) != len(sym.fn.Params) {
+		return errorf(call.Pos, "function %q takes %d argument(s), got %d", call.Name, len(sym.fn.Params), len(call.Args))
+	}
+	if needValue && !sym.fn.HasRet {
+		return errorf(call.Pos, "function %q returns no value", call.Name)
+	}
+	for _, a := range call.Args {
+		if err := c.checkValueExpr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alwaysReturns reports whether every path through the block ends in a
+// return (conservative: loops are not assumed to return).
+func alwaysReturns(b *BlockStmt) bool {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ReturnStmt:
+			return true
+		case *IfStmt:
+			if st.Else != nil && alwaysReturns(st.Then) && alwaysReturns(st.Else) {
+				return true
+			}
+		case *BlockStmt:
+			if alwaysReturns(st) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EvalConst evaluates a compile-time constant expression (used for global
+// initializers and by the lowering pass for constant folding). Only
+// literals and pure operators are allowed. All arithmetic follows the
+// language's 16-bit wraparound semantics exactly — folding must never
+// produce a value the machine would not.
+func EvalConst(e Expr) (int, error) {
+	v, err := evalConst16(e)
+	return int(int16(v)), err
+}
+
+func evalConst16(e Expr) (uint16, error) {
+	switch ex := e.(type) {
+	case *NumLit:
+		return uint16(ex.Val), nil
+	case *UnExpr:
+		v, err := evalConst16(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Minus:
+			return -v, nil
+		case Tilde:
+			return ^v, nil
+		case Not:
+			return boolWord(v == 0), nil
+		}
+	case *BinExpr:
+		// && and || over constants have no short-circuit observability.
+		l, err := evalConst16(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalConst16(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case AndAnd:
+			return boolWord(l != 0 && r != 0), nil
+		case OrOr:
+			return boolWord(l != 0 || r != 0), nil
+		case Slash:
+			if r == 0 {
+				return 0, errorf(ex.Pos, "constant division by zero")
+			}
+		case Percent:
+			if r == 0 {
+				return 0, errorf(ex.Pos, "constant modulo by zero")
+			}
+		}
+		// binOp is the interpreter's operator table — the single source
+		// of truth for MiniC arithmetic.
+		v, err := binOp(ex.Op, l, r)
+		if err != nil {
+			return 0, errorf(ex.Pos, "%v", err)
+		}
+		return v, nil
+	}
+	return 0, errorf(e.ExprPos(), "expression is not a compile-time constant")
+}

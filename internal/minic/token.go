@@ -1,0 +1,117 @@
+// Package minic implements the front end of the MiniC language — the small
+// C-like language the benchmark sensor programs are written in. It covers
+// lexing, parsing to an AST, and semantic checking; package compile lowers
+// the checked AST to CFG form and machine code.
+//
+// MiniC deliberately mirrors the shape of nesC/TinyOS application code:
+// 16-bit integers, global state, arrays, event-handler-style procedures,
+// and hardware intrinsics (sense, send, led, now, rand, debug).
+package minic
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwInt
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Assign // =
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KwVar: "'var'", KwFunc: "'func'", KwIf: "'if'", KwElse: "'else'",
+	KwWhile: "'while'", KwFor: "'for'", KwReturn: "'return'",
+	KwBreak: "'break'", KwContinue: "'continue'", KwInt: "'int'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semicolon: "';'",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Amp: "'&'", Pipe: "'|'", Caret: "'^'", Tilde: "'~'",
+	Shl: "'<<'", Shr: "'>>'", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='",
+	EqEq: "'=='", NotEq: "'!='", AndAnd: "'&&'", OrOr: "'||'", Not: "'!'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KwVar, "func": KwFunc, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "int": KwInt,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int // for NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case NUMBER:
+		return fmt.Sprintf("number(%d)", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,60 @@
+package mote
+
+import (
+	"fmt"
+
+	"codetomo/internal/isa"
+)
+
+// TrainablePredictor is a Predictor with per-branch state that learns from
+// resolved outcomes. The machine trains it after every conditional branch.
+type TrainablePredictor interface {
+	Predictor
+	Train(pc int32, taken bool)
+}
+
+// Bimodal is a classic 2-bit saturating-counter dynamic predictor with a
+// direct-mapped table. Sensor motes do not ship one — that is precisely
+// why static prediction plus code placement matters there — but the
+// ablation harness uses it to show how much of the placement benefit a
+// dynamic predictor would erase.
+type Bimodal struct {
+	table []uint8 // 2-bit counters: 0,1 = not taken; 2,3 = taken
+	mask  int32
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters initialized
+// to weakly-not-taken.
+func NewBimodal(bits int) *Bimodal {
+	if bits < 1 || bits > 20 {
+		bits = 6
+	}
+	n := 1 << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Bimodal{table: t, mask: int32(n - 1)}
+}
+
+// PredictTaken implements Predictor.
+func (b *Bimodal) PredictTaken(pc int32, _ isa.Instr) bool {
+	return b.table[pc&b.mask] >= 2
+}
+
+// Train implements TrainablePredictor.
+func (b *Bimodal) Train(pc int32, taken bool) {
+	i := pc & b.mask
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string {
+	return fmt.Sprintf("bimodal-%d", len(b.table))
+}

@@ -1,0 +1,38 @@
+package mote
+
+// EnergyModel converts one run's architectural event counts into an energy
+// estimate in microjoules. The coefficients follow the usual mote budget
+// shape (TelosB-class): the CPU draws on the order of a few mA at a few
+// MHz, and each radio packet costs orders of magnitude more than an
+// instruction, which is why profiling instrumentation overhead is counted
+// in both cycles and bytes-of-RAM rather than being "free".
+type EnergyModel struct {
+	// UJPerCycle is the active-mode CPU energy per cycle.
+	UJPerCycle float64
+	// UJPerRadioWord is the energy to transmit one 16-bit word.
+	UJPerRadioWord float64
+	// UJPerRadioPacket is the fixed per-packet overhead (preamble, turnaround).
+	UJPerRadioPacket float64
+	// UJPerSensorRead is the ADC conversion energy.
+	UJPerSensorRead float64
+}
+
+// DefaultEnergyModel returns coefficients for a TelosB-class mote at 4 MHz:
+// ~1.8 mA · 3 V / 4 MHz ≈ 1.35 nJ per cycle, ~2 µJ per transmitted word,
+// 40 µJ fixed per packet, 1 µJ per ADC conversion.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		UJPerCycle:       0.00135,
+		UJPerRadioWord:   2.0,
+		UJPerRadioPacket: 40.0,
+		UJPerSensorRead:  1.0,
+	}
+}
+
+// Energy returns the estimated energy in microjoules for the given run.
+func (e EnergyModel) Energy(s Stats) float64 {
+	return float64(s.Cycles)*e.UJPerCycle +
+		float64(s.RadioWords)*e.UJPerRadioWord +
+		float64(s.RadioPackets)*e.UJPerRadioPacket +
+		float64(s.SensorReads)*e.UJPerSensorRead
+}

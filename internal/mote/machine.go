@@ -1,0 +1,427 @@
+// Package mote simulates the M16 sensor mote: a cycle-level interpreter of
+// the M16 ISA with a static-prediction pipeline model, word-addressed RAM,
+// and the peripherals a sensor-network program touches (hardware timer,
+// ADC-connected sensor, entropy source, LEDs, radio) plus the trace buffer
+// and profiling counters the instrumented builds write into.
+//
+// The simulator is the stand-in for the physical motes of the paper: it
+// supplies ground-truth edge counts (the oracle the estimators are judged
+// against), the coarse hardware timer the Code Tomography measurements are
+// quantized by, and the taken-branch/misprediction penalties that code
+// placement optimizes.
+package mote
+
+import (
+	"errors"
+	"fmt"
+
+	"codetomo/internal/isa"
+)
+
+// Errors the machine can stop with.
+var (
+	ErrDivByZero     = errors.New("mote: division by zero")
+	ErrMemFault      = errors.New("mote: data memory access out of range")
+	ErrStackFault    = errors.New("mote: stack overflow or underflow")
+	ErrPCFault       = errors.New("mote: program counter out of range")
+	ErrCycleBudget   = errors.New("mote: cycle budget exhausted")
+	ErrTraceOverflow = errors.New("mote: trace buffer overflow")
+	ErrBadInstr      = errors.New("mote: illegal instruction")
+)
+
+// SampleSource produces the nondeterministic 16-bit values a peripheral
+// feeds the program (ADC readings, entropy words). Package workload
+// provides implementations.
+type SampleSource interface {
+	Next() uint16
+}
+
+// zeroSource is the default for unconnected peripherals.
+type zeroSource struct{}
+
+func (zeroSource) Next() uint16 { return 0 }
+
+// TraceEvent is one record in the hardware trace buffer: the TRACE
+// instruction's ID operand and the timer tick at which it executed. The
+// tick is kept at full width here — decoding the mote's 16-bit rollover
+// log offline is standard practice and not part of what the estimator must
+// invert.
+type TraceEvent struct {
+	ID   int32
+	Tick uint64
+}
+
+// BranchStat accumulates ground-truth outcome counts for one static
+// conditional branch, keyed by its program address.
+type BranchStat struct {
+	Taken    uint64
+	NotTaken uint64
+	Mispred  uint64
+}
+
+// Stats aggregates architectural event counts for one run.
+type Stats struct {
+	Cycles        uint64
+	Instructions  uint64
+	CondBranches  uint64
+	TakenBranches uint64
+	Mispredicts   uint64
+	Calls         uint64
+	LoadsStores   uint64
+	RadioPackets  uint64
+	RadioWords    uint64
+	LEDWrites     uint64
+	SensorReads   uint64
+}
+
+// Config sets the machine's architectural parameters.
+type Config struct {
+	// RAMWords is the size of data memory in 16-bit words.
+	RAMWords int
+	// TickDiv is the timer prescaler: one timer tick per TickDiv cycles.
+	// This is the quantization the tomography estimator must see through.
+	TickDiv int
+	// Predictor is the static branch prediction policy.
+	Predictor Predictor
+	// Cost is the cycle/size table; nil means isa.DefaultCostModel().
+	Cost *isa.CostModel
+	// MaxTraceEvents bounds the trace buffer (0 = default 1<<22).
+	MaxTraceEvents int
+	// Sensor and Entropy feed the ADC and RNG ports.
+	Sensor  SampleSource
+	Entropy SampleSource
+}
+
+// DefaultConfig returns the configuration used across the evaluation:
+// 4K words of RAM, an 8-cycle timer prescaler, and predict-not-taken.
+func DefaultConfig() Config {
+	return Config{
+		RAMWords:  4096,
+		TickDiv:   8,
+		Predictor: StaticNotTaken{},
+		Cost:      isa.DefaultCostModel(),
+	}
+}
+
+// Machine is one simulated mote.
+type Machine struct {
+	prog []isa.Instr
+	cfg  Config
+
+	pc   int32
+	sp   int32
+	regs [16]uint16
+	mem  []uint16
+
+	halted bool
+
+	// Peripherals.
+	ledState   uint16
+	radioBuf   []uint16
+	debugOut   []uint16
+	trace      []TraceEvent
+	profCnt    map[int32]uint64
+	branchStat map[int32]*BranchStat
+
+	stats Stats
+}
+
+// New creates a machine loaded with the given program.
+func New(prog []isa.Instr, cfg Config) *Machine {
+	if cfg.RAMWords <= 0 {
+		cfg.RAMWords = 4096
+	}
+	if cfg.TickDiv <= 0 {
+		cfg.TickDiv = 8
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = StaticNotTaken{}
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = isa.DefaultCostModel()
+	}
+	if cfg.MaxTraceEvents <= 0 {
+		cfg.MaxTraceEvents = 1 << 22
+	}
+	if cfg.Sensor == nil {
+		cfg.Sensor = zeroSource{}
+	}
+	if cfg.Entropy == nil {
+		cfg.Entropy = zeroSource{}
+	}
+	return &Machine{
+		prog:       prog,
+		cfg:        cfg,
+		sp:         int32(cfg.RAMWords),
+		mem:        make([]uint16, cfg.RAMWords),
+		profCnt:    make(map[int32]uint64),
+		branchStat: make(map[int32]*BranchStat),
+	}
+}
+
+// Stats returns the architectural counters accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Trace returns the trace buffer (TRACE instruction log).
+func (m *Machine) Trace() []TraceEvent { return m.trace }
+
+// ProfileCounters returns the PROFCNT counter map.
+func (m *Machine) ProfileCounters() map[int32]uint64 { return m.profCnt }
+
+// BranchStats returns ground-truth per-branch outcome counts keyed by the
+// branch instruction's address.
+func (m *Machine) BranchStats() map[int32]*BranchStat { return m.branchStat }
+
+// DebugOutput returns the words written to the debug port.
+func (m *Machine) DebugOutput() []uint16 { return m.debugOut }
+
+// LED returns the current LED state.
+func (m *Machine) LED() uint16 { return m.ledState }
+
+// Halted reports whether the program executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Tick returns the current timer tick (cycles / TickDiv) at full width.
+func (m *Machine) Tick() uint64 { return m.stats.Cycles / uint64(m.cfg.TickDiv) }
+
+// Reg returns the value of register r (for tests and tools).
+func (m *Machine) Reg(r isa.Reg) uint16 { return m.regs[r] }
+
+// PC returns the current program counter (for sampling profilers and
+// debuggers).
+func (m *Machine) PC() int32 { return m.pc }
+
+// Mem returns the value of data word addr (for tests and tools).
+func (m *Machine) Mem(addr int) (uint16, error) {
+	if addr < 0 || addr >= len(m.mem) {
+		return 0, fmt.Errorf("%w: addr %d", ErrMemFault, addr)
+	}
+	return m.mem[addr], nil
+}
+
+// SetMem writes a data word (for tests and tools that pre-load state).
+func (m *Machine) SetMem(addr int, v uint16) error {
+	if addr < 0 || addr >= len(m.mem) {
+		return fmt.Errorf("%w: addr %d", ErrMemFault, addr)
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// Run executes until HALT, an execution fault, or the cycle budget is
+// exhausted. A HALT stop returns nil; budget exhaustion returns
+// ErrCycleBudget wrapped with position info.
+func (m *Machine) Run(maxCycles uint64) error {
+	for !m.halted {
+		if m.stats.Cycles >= maxCycles {
+			return fmt.Errorf("%w at pc=%d after %d instructions", ErrCycleBudget, m.pc, m.stats.Instructions)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes a single instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.pc < 0 || int(m.pc) >= len(m.prog) {
+		return fmt.Errorf("%w: pc=%d", ErrPCFault, m.pc)
+	}
+	in := m.prog[m.pc]
+	cost := uint64(m.cfg.Cost.InstrCycles(in))
+	nextPC := m.pc + 1
+	m.stats.Instructions++
+
+	signed := func(r isa.Reg) int16 { return int16(m.regs[r]) }
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		m.halted = true
+	case isa.LDI:
+		m.regs[in.Rd] = uint16(in.Imm)
+	case isa.MOV:
+		m.regs[in.Rd] = m.regs[in.Ra]
+	case isa.ADD:
+		m.regs[in.Rd] = m.regs[in.Ra] + m.regs[in.Rb]
+	case isa.SUB:
+		m.regs[in.Rd] = m.regs[in.Ra] - m.regs[in.Rb]
+	case isa.MUL:
+		m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) * int16(m.regs[in.Rb]))
+	case isa.DIV:
+		if m.regs[in.Rb] == 0 {
+			return fmt.Errorf("%w at pc=%d", ErrDivByZero, m.pc)
+		}
+		m.regs[in.Rd] = uint16(signed(in.Ra) / signed(in.Rb))
+	case isa.MOD:
+		if m.regs[in.Rb] == 0 {
+			return fmt.Errorf("%w at pc=%d", ErrDivByZero, m.pc)
+		}
+		m.regs[in.Rd] = uint16(signed(in.Ra) % signed(in.Rb))
+	case isa.AND:
+		m.regs[in.Rd] = m.regs[in.Ra] & m.regs[in.Rb]
+	case isa.OR:
+		m.regs[in.Rd] = m.regs[in.Ra] | m.regs[in.Rb]
+	case isa.XOR:
+		m.regs[in.Rd] = m.regs[in.Ra] ^ m.regs[in.Rb]
+	case isa.SHL:
+		m.regs[in.Rd] = m.regs[in.Ra] << (m.regs[in.Rb] & 15)
+	case isa.SHR:
+		m.regs[in.Rd] = m.regs[in.Ra] >> (m.regs[in.Rb] & 15)
+	case isa.SAR:
+		m.regs[in.Rd] = uint16(signed(in.Ra) >> (m.regs[in.Rb] & 15))
+	case isa.ADDI:
+		m.regs[in.Rd] = m.regs[in.Ra] + uint16(in.Imm)
+	case isa.XORI:
+		m.regs[in.Rd] = m.regs[in.Ra] ^ uint16(in.Imm)
+	case isa.SLT:
+		m.regs[in.Rd] = boolWord(signed(in.Ra) < signed(in.Rb))
+	case isa.SLTU:
+		m.regs[in.Rd] = boolWord(m.regs[in.Ra] < m.regs[in.Rb])
+	case isa.SEQ:
+		m.regs[in.Rd] = boolWord(m.regs[in.Ra] == m.regs[in.Rb])
+	case isa.LD:
+		addr := int32(int16(m.regs[in.Ra])) + in.Imm
+		if addr < 0 || int(addr) >= len(m.mem) {
+			return fmt.Errorf("%w: load addr %d at pc=%d", ErrMemFault, addr, m.pc)
+		}
+		m.regs[in.Rd] = m.mem[addr]
+		m.stats.LoadsStores++
+	case isa.ST:
+		addr := int32(int16(m.regs[in.Ra])) + in.Imm
+		if addr < 0 || int(addr) >= len(m.mem) {
+			return fmt.Errorf("%w: store addr %d at pc=%d", ErrMemFault, addr, m.pc)
+		}
+		m.mem[addr] = m.regs[in.Rb]
+		m.stats.LoadsStores++
+	case isa.PUSH:
+		if m.sp <= 0 {
+			return fmt.Errorf("%w: push with sp=%d at pc=%d", ErrStackFault, m.sp, m.pc)
+		}
+		m.sp--
+		m.mem[m.sp] = m.regs[in.Ra]
+	case isa.POP:
+		if int(m.sp) >= len(m.mem) {
+			return fmt.Errorf("%w: pop with sp=%d at pc=%d", ErrStackFault, m.sp, m.pc)
+		}
+		m.regs[in.Rd] = m.mem[m.sp]
+		m.sp++
+	case isa.SPADJ:
+		ns := m.sp + in.Imm
+		if ns < 0 || int(ns) > len(m.mem) {
+			return fmt.Errorf("%w: spadj to %d at pc=%d", ErrStackFault, ns, m.pc)
+		}
+		m.sp = ns
+	case isa.GETSP:
+		m.regs[in.Rd] = uint16(m.sp)
+	case isa.JMP:
+		nextPC = in.Imm
+	case isa.BZ, isa.BNZ, isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		taken := false
+		switch in.Op {
+		case isa.BZ:
+			taken = m.regs[in.Ra] == 0
+		case isa.BNZ:
+			taken = m.regs[in.Ra] != 0
+		case isa.BEQ:
+			taken = m.regs[in.Ra] == m.regs[in.Rb]
+		case isa.BNE:
+			taken = m.regs[in.Ra] != m.regs[in.Rb]
+		case isa.BLT:
+			taken = signed(in.Ra) < signed(in.Rb)
+		case isa.BGE:
+			taken = signed(in.Ra) >= signed(in.Rb)
+		}
+		m.stats.CondBranches++
+		st := m.branchStat[m.pc]
+		if st == nil {
+			st = &BranchStat{}
+			m.branchStat[m.pc] = st
+		}
+		predictedTaken := m.cfg.Predictor.PredictTaken(m.pc, in)
+		if taken {
+			m.stats.TakenBranches++
+			st.Taken++
+			nextPC = in.Imm
+		} else {
+			st.NotTaken++
+		}
+		if predictedTaken != taken {
+			m.stats.Mispredicts++
+			st.Mispred++
+			cost += uint64(m.cfg.Cost.TakenPenalty)
+		}
+		if tp, ok := m.cfg.Predictor.(TrainablePredictor); ok {
+			tp.Train(m.pc, taken)
+		}
+	case isa.CALL:
+		if m.sp <= 0 {
+			return fmt.Errorf("%w: call with sp=%d at pc=%d", ErrStackFault, m.sp, m.pc)
+		}
+		m.sp--
+		m.mem[m.sp] = uint16(m.pc + 1)
+		nextPC = in.Imm
+		m.stats.Calls++
+	case isa.RET:
+		if int(m.sp) >= len(m.mem) {
+			return fmt.Errorf("%w: ret with sp=%d at pc=%d", ErrStackFault, m.sp, m.pc)
+		}
+		nextPC = int32(m.mem[m.sp])
+		m.sp++
+	case isa.IN:
+		switch in.Imm {
+		case isa.PortTimer:
+			m.regs[in.Rd] = uint16(m.Tick())
+		case isa.PortADC:
+			m.regs[in.Rd] = m.cfg.Sensor.Next()
+			m.stats.SensorReads++
+		case isa.PortRNG:
+			m.regs[in.Rd] = m.cfg.Entropy.Next()
+		case isa.PortRadioCtl:
+			m.regs[in.Rd] = 1 // last TX always succeeded in this model
+		default:
+			m.regs[in.Rd] = 0
+		}
+	case isa.OUT:
+		v := m.regs[in.Ra]
+		switch in.Imm {
+		case isa.PortLED:
+			m.ledState = v
+			m.stats.LEDWrites++
+		case isa.PortRadioData:
+			m.radioBuf = append(m.radioBuf, v)
+		case isa.PortRadioCtl:
+			if v != 0 {
+				m.stats.RadioPackets++
+				m.stats.RadioWords += uint64(len(m.radioBuf))
+				m.radioBuf = m.radioBuf[:0]
+			}
+		case isa.PortDebug:
+			m.debugOut = append(m.debugOut, v)
+		}
+	case isa.TRACE:
+		if len(m.trace) >= m.cfg.MaxTraceEvents {
+			return fmt.Errorf("%w: %d events", ErrTraceOverflow, len(m.trace))
+		}
+		m.trace = append(m.trace, TraceEvent{ID: in.Imm, Tick: m.Tick()})
+	case isa.PROFCNT:
+		m.profCnt[in.Imm]++
+	default:
+		return fmt.Errorf("%w: opcode %v at pc=%d", ErrBadInstr, in.Op, m.pc)
+	}
+
+	m.stats.Cycles += cost
+	m.pc = nextPC
+	return nil
+}
+
+func boolWord(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

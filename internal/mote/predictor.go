@@ -1,0 +1,35 @@
+package mote
+
+import "codetomo/internal/isa"
+
+// Predictor is a static branch prediction policy: given a conditional
+// branch's address and encoding, predict whether it is taken. Low-end MCUs
+// implement exactly such fixed policies in their fetch stage; the compiler's
+// block placement decides which successor is the fall-through and thereby
+// which dynamic outcomes get mispredicted.
+type Predictor interface {
+	PredictTaken(pc int32, in isa.Instr) bool
+	Name() string
+}
+
+// StaticNotTaken always predicts fall-through. Under this policy every
+// taken conditional branch is a misprediction, so placement should make hot
+// successors the fall-through — the classic branch-alignment objective.
+type StaticNotTaken struct{}
+
+// PredictTaken implements Predictor.
+func (StaticNotTaken) PredictTaken(int32, isa.Instr) bool { return false }
+
+// Name implements Predictor.
+func (StaticNotTaken) Name() string { return "not-taken" }
+
+// BTFN predicts backward branches taken and forward branches not taken —
+// the standard static heuristic that assumes backward branches are loop
+// latches.
+type BTFN struct{}
+
+// PredictTaken implements Predictor.
+func (BTFN) PredictTaken(pc int32, in isa.Instr) bool { return in.Imm <= pc }
+
+// Name implements Predictor.
+func (BTFN) Name() string { return "btfn" }

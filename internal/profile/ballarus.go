@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+)
+
+// BallLarusProbs assigns branch probabilities from static heuristics in the
+// spirit of Ball & Larus (1993), needing no profile data at all:
+//
+//   - Loop-branch heuristic: an edge that is a loop back edge, or stays
+//     inside the loop, is likely (88%).
+//   - Return heuristic: an edge leading directly to a return block is
+//     unlikely (28%) — error/exit paths are rare.
+//   - Otherwise: 50/50.
+//
+// This is the zero-cost comparator for profile-guided placement.
+func BallLarusProbs(proc *cfg.Proc) markov.EdgeProbs {
+	const (
+		loopTaken = 0.88
+		retTaken  = 0.28
+	)
+	probs := markov.Uniform(proc)
+	backEdges := proc.LoopBackEdgeSet()
+	loops := proc.NaturalLoops()
+
+	inSomeLoop := func(b ir.BlockID) bool {
+		for _, l := range loops {
+			if l.Body[b] {
+				return true
+			}
+		}
+		return false
+	}
+	isRet := func(b ir.BlockID) bool {
+		switch proc.Block(b).Term.(type) {
+		case ir.Ret, ir.Halt:
+			return true
+		}
+		return false
+	}
+
+	for _, bb := range proc.BranchBlocks() {
+		succs := proc.Block(bb).Succs()
+		if len(succs) != 2 {
+			continue
+		}
+		a, b := succs[0], succs[1]
+		pa := 0.5
+
+		// Loop heuristic first (strongest signal).
+		aLoop := backEdges[[2]ir.BlockID{bb, a}] || (inSomeLoop(bb) && inSomeLoop(a))
+		bLoop := backEdges[[2]ir.BlockID{bb, b}] || (inSomeLoop(bb) && inSomeLoop(b))
+		switch {
+		case aLoop && !bLoop:
+			pa = loopTaken
+		case bLoop && !aLoop:
+			pa = 1 - loopTaken
+		default:
+			// Return heuristic.
+			aRet, bRet := isRet(a), isRet(b)
+			switch {
+			case aRet && !bRet:
+				pa = retTaken
+			case bRet && !aRet:
+				pa = 1 - retTaken
+			}
+		}
+		probs[[2]ir.BlockID{bb, a}] = pa
+		probs[[2]ir.BlockID{bb, b}] = 1 - pa
+	}
+	return probs
+}

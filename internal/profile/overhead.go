@@ -1,0 +1,61 @@
+package profile
+
+import (
+	"codetomo/internal/compile"
+	"codetomo/internal/mote"
+)
+
+// Overhead quantifies what a profiling strategy costs on the mote relative
+// to an uninstrumented build of the same program — the core of the paper's
+// overhead comparison: Code Tomography's two timestamps per procedure
+// invocation against a counter per branch arc.
+type Overhead struct {
+	Strategy string
+	// CodeBytes is the flash increase of the instrumented binary.
+	CodeBytes uint32
+	// RAMBytes is the RAM dedicated to profiling state (counters or the
+	// trace ring buffer).
+	RAMBytes int
+	// ExtraCycles is the runtime increase for the measured run.
+	ExtraCycles uint64
+	// ExtraCyclesPct is ExtraCycles relative to the baseline run.
+	ExtraCyclesPct float64
+	// ExtraEnergyUJ is the energy increase under the mote energy model.
+	ExtraEnergyUJ float64
+}
+
+// TraceRingWords is the RAM budget a real deployment dedicates to the
+// timestamp ring buffer (id + 16-bit tick per event). Code Tomography only
+// needs duration histograms, so a small ring flushed opportunistically
+// suffices; 64 entries of 2 words matches the paper's setting of logging at
+// procedure boundaries.
+const TraceRingWords = 64 * 2
+
+// CounterWords returns the RAM words needed for arc counters (16-bit each).
+func CounterWords(meta *compile.Meta) int { return meta.NumArcCounters }
+
+// MeasureOverhead compares an instrumented run against a baseline run of
+// the same program/workload and fills in the cost model.
+func MeasureOverhead(strategy string, baseMeta, instMeta *compile.Meta, base, inst mote.Stats, energy mote.EnergyModel) Overhead {
+	o := Overhead{Strategy: strategy}
+	if instMeta.CodeBytes > baseMeta.CodeBytes {
+		o.CodeBytes = instMeta.CodeBytes - baseMeta.CodeBytes
+	}
+	switch instMeta.Mode {
+	case compile.ModeTimestamps:
+		o.RAMBytes = TraceRingWords * 2
+	case compile.ModeEdgeCounters:
+		o.RAMBytes = CounterWords(instMeta) * 2
+	}
+	if inst.Cycles > base.Cycles {
+		o.ExtraCycles = inst.Cycles - base.Cycles
+	}
+	if base.Cycles > 0 {
+		o.ExtraCyclesPct = 100 * float64(o.ExtraCycles) / float64(base.Cycles)
+	}
+	be, ie := energy.Energy(base), energy.Energy(inst)
+	if ie > be {
+		o.ExtraEnergyUJ = ie - be
+	}
+	return o
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1.25")
+	t.AddRow("beta, the second", "10")
+	return t
+}
+
+func TestRender(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"demo", "====", "name", "alpha", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Numeric column right-aligned: "1.25" preceded by spaces to width 5.
+	if !strings.Contains(out, " 1.25") {
+		t.Fatalf("numbers not right-aligned:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"beta, the second"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+	q := &Table{Header: []string{"a"}, Rows: [][]string{{`say "hi"`}}}
+	if !strings.Contains(q.CSV(), `"say ""hi"""`) {
+		t.Fatalf("quote escaping wrong: %q", q.CSV())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F wrong")
+	}
+	if I(42) != "42" {
+		t.Fatal("I wrong")
+	}
+	if I(uint64(7)) != "7" {
+		t.Fatal("I uint64 wrong")
+	}
+	if Pct(0.1234) != "12.34%" {
+		t.Fatalf("Pct wrong: %s", Pct(0.1234))
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"1", "-2.5", "3.14%", "1.0x"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "abc", "n/a"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}

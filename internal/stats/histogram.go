@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Samples outside
+// the range are clamped into the first/last bin so no mass is lost — the
+// tomography estimators rely on bin counts summing to the sample count.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with n bins covering [lo, hi).
+// It panics if the range is empty or n is not positive.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if !(hi > lo) || n <= 0 {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) with %d bins", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// BinIndex returns the bin a value falls into, clamped to the valid range.
+func (h *Histogram) BinIndex(x float64) int {
+	i := int(math.Floor((x - h.Lo) / h.BinWidth()))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Counts) {
+		return len(h.Counts) - 1
+	}
+	return i
+}
+
+// Push adds a sample.
+func (h *Histogram) Push(x float64) {
+	h.Counts[h.BinIndex(x)]++
+	h.total++
+}
+
+// Total returns the number of samples pushed.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns the normalized bin frequencies (empirical pmf over bins).
+// The result is all zeros if the histogram is empty.
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// String renders a compact ASCII sketch for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * 40 / max
+		}
+		fmt.Fprintf(&b, "%10.1f |%s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

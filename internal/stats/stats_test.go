@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(1)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	same := true
+	for i := 0; i < 20; i++ {
+		if f1.Float64() != f2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked streams are identical")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(7)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Push(g.Normal(5, 2))
+	}
+	if math.Abs(m.Mean()-5) > 0.05 {
+		t.Fatalf("mean = %v, want ~5", m.Mean())
+	}
+	if math.Abs(m.StdDev()-2) > 0.05 {
+		t.Fatalf("stddev = %v, want ~2", m.StdDev())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(9)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Push(g.Exponential(4))
+	}
+	if math.Abs(m.Mean()-0.25) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.25", m.Mean())
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewRNG(11)
+	for _, lambda := range []float64{0.5, 3, 50} {
+		var m Moments
+		for i := 0; i < 50000; i++ {
+			m.Push(float64(g.Poisson(lambda)))
+		}
+		if math.Abs(m.Mean()-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", lambda, m.Mean())
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	g := NewRNG(13)
+	p := 0.3
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Push(float64(g.Geometric(p)))
+	}
+	want := (1 - p) / p
+	if math.Abs(m.Mean()-want) > 0.05 {
+		t.Fatalf("Geometric mean = %v, want ~%v", m.Mean(), want)
+	}
+	if g.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	g := NewRNG(17)
+	w := []float64{1, 2, 7}
+	counts := make([]float64, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := counts[i] / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	g := NewRNG(1)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			g.Categorical(w)
+		}()
+	}
+}
+
+func TestMomentsWelford(t *testing.T) {
+	var m Moments
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		m.Push(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", m.Mean())
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", m.Variance(), 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v, want 3", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 2.5, 2.6, 9.9, -3, 42} {
+		h.Push(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0.5 and clamped -3
+		t.Fatalf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Fatalf("bin1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[4] != 2 { // 9.9 and clamped 42
+		t.Fatalf("bin4 = %d, want 2", h.Counts[4])
+	}
+	d := h.Density()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("density sums to %v", sum)
+	}
+	if h.BinCenter(0) != 1 {
+		t.Fatalf("BinCenter(0) = %v, want 1", h.BinCenter(0))
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 5}
+	mae, err := MAE(a, b)
+	if err != nil || mae != 1 {
+		t.Fatalf("MAE = %v, %v", mae, err)
+	}
+	rmse, err := RMSE(a, b)
+	if err != nil || math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+	mx, _ := MaxAbsError(a, b)
+	if mx != 2 {
+		t.Fatalf("MaxAbsError = %v", mx)
+	}
+	if _, err := MAE(a, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTotalVariationAndKL(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0.25, 0.25, 0.5}
+	tv, err := TotalVariation(p, q)
+	if err != nil || math.Abs(tv-0.5) > 1e-12 {
+		t.Fatalf("TV = %v", tv)
+	}
+	kl, err := KLDivergence(p, q)
+	if err != nil || math.Abs(kl-math.Log(2)) > 1e-12 {
+		t.Fatalf("KL = %v, want ln2", kl)
+	}
+	klInf, _ := KLDivergence(q, p) // q has mass where p doesn't
+	if !math.IsInf(klInf, 1) {
+		t.Fatalf("KL with unsupported mass = %v, want +Inf", klInf)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := CDF(xs, []float64{0, 2, 5})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeSimplex(t *testing.T) {
+	got := NormalizeSimplex([]float64{1, 3})
+	if got[0] != 0.25 || got[1] != 0.75 {
+		t.Fatalf("got %v", got)
+	}
+	uniform := NormalizeSimplex([]float64{0, 0, 0})
+	for _, v := range uniform {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("zero vector did not normalize to uniform: %v", uniform)
+		}
+	}
+	// Negative entries are treated as zero mass.
+	neg := NormalizeSimplex([]float64{-1, 1})
+	if neg[0] != 0 || neg[1] != 1 {
+		t.Fatalf("negative handling wrong: %v", neg)
+	}
+}
+
+// Property: Moments matches the direct two-pass formulas.
+func TestMomentsMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 2 + g.Intn(50)
+		xs := make([]float64, n)
+		var m Moments
+		for i := range xs {
+			xs[i] = g.Normal(0, 10)
+			m.Push(xs[i])
+		}
+		if math.Abs(m.Mean()-Mean(xs)) > 1e-9 {
+			return false
+		}
+		return math.Abs(m.Variance()-Variance(xs)) < 1e-9*(1+m.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram never loses samples, whatever the input.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		h := NewHistogram(-5, 5, 1+g.Intn(20))
+		n := g.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Push(g.Normal(0, 20))
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package tomography
+
+import (
+	"fmt"
+	"math"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+	"codetomo/internal/stats"
+)
+
+// BootstrapSpread quantifies how stable an estimator's output is on the
+// given sample set: it re-estimates on B bootstrap resamples and returns
+// the traversal-weighted mean of the per-edge standard deviations. A path
+// model that is formally covered but practically unidentifiable (several
+// branch assignments explaining the same duration mixture) shows up as a
+// large spread — the pipeline's second trust signal after Coverage.
+func BootstrapSpread(m *Model, samples []float64, est Estimator, b int, seed int64) (float64, error) {
+	if len(m.Unknowns) == 0 {
+		return 0, nil
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("tomography: no samples")
+	}
+	if b <= 1 {
+		b = 15
+	}
+	rng := stats.NewRNG(seed)
+	edges := m.BranchEdgeList()
+	sums := make([]stats.Moments, len(edges))
+
+	resample := make([]float64, len(samples))
+	for rep := 0; rep < b; rep++ {
+		for i := range resample {
+			resample[i] = samples[rng.Intn(len(samples))]
+		}
+		probs, err := est.Estimate(m, resample)
+		if err != nil {
+			return 0, err
+		}
+		for i, e := range edges {
+			sums[i].Push(probs[e])
+		}
+	}
+
+	// Weight each edge's spread by its expected traversal count under the
+	// mean estimate: instability on hot edges is what corrupts layouts;
+	// noise on a once-per-run error path is harmless.
+	mean := markov.Uniform(m.Proc)
+	for i, e := range edges {
+		mean[e] = sums[i].Mean()
+	}
+	normalizeBranches(m, mean)
+	weights := map[[2]ir.BlockID]float64{}
+	if chain, err := markov.New(m.Proc, mean); err == nil {
+		if tr, err := chain.ExpectedEdgeTraversals(); err == nil {
+			weights = tr
+		}
+	}
+
+	num, den := 0.0, 0.0
+	for i, e := range edges {
+		w := weights[e]
+		if w <= 0 {
+			w = 1e-6
+		}
+		num += w * sums[i].StdDev()
+		den += w
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// normalizeBranches rescales each branch block's outgoing probabilities to
+// sum to 1 (bootstrap means need not).
+func normalizeBranches(m *Model, probs markov.EdgeProbs) {
+	for _, u := range m.Unknowns {
+		total := 0.0
+		for _, e := range u.Edges {
+			total += math.Max(probs[e], 0)
+		}
+		if total <= 0 {
+			for _, e := range u.Edges {
+				probs[e] = 1 / float64(len(u.Edges))
+			}
+			continue
+		}
+		for _, e := range u.Edges {
+			probs[e] = math.Max(probs[e], 0) / total
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package tomography
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+)
+
+// EMConfig tunes the expectation-maximization estimator.
+type EMConfig struct {
+	// MaxIter bounds EM iterations (default 200).
+	MaxIter int
+	// Tol stops iteration when no probability moves more than this
+	// (default 1e-6).
+	Tol float64
+	// KernelHalfWidth is the observation kernel's half width in cycles,
+	// covering timer quantization and callee-subtraction noise. Values
+	// <= 0 default to the mote's TickDiv (pass it explicitly when known).
+	KernelHalfWidth float64
+	// Alpha is the additive smoothing applied in the M-step so no branch
+	// probability collapses to exactly zero (default 0.5 pseudo-counts).
+	Alpha float64
+}
+
+// withDefaults fills unset fields.
+func (c EMConfig) withDefaults() EMConfig {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.KernelHalfWidth <= 0 {
+		c.KernelHalfWidth = 8
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	return c
+}
+
+// EMStats reports how the estimation went.
+type EMStats struct {
+	Iterations int
+	Converged  bool
+	// LogLikelihood is the final (smoothed-kernel) data log-likelihood.
+	LogLikelihood float64
+	// Unmatched counts observations that fell outside every path's kernel
+	// and were soft-assigned to the nearest path.
+	Unmatched int
+}
+
+// EstimateEM recovers branch probabilities from end-to-end duration samples
+// (in cycles) by EM over the path mixture:
+//
+//	E-step: γ(i,j) ∝ π_j(θ)·K(t_i − τ_j)
+//	M-step: p(e) ∝ Σ_{i,j} γ(i,j)·m_j(e)   (normalized per branch block)
+//
+// where π_j is the path prior under the current probabilities, τ_j the
+// path's deterministic duration, m_j(e) its traversal count of edge e, and
+// K a box kernel absorbing timer quantization.
+func EstimateEM(m *Model, samples []float64, cfg EMConfig) (markov.EdgeProbs, EMStats, error) {
+	cfg = cfg.withDefaults()
+	var st EMStats
+	if len(m.Unknowns) == 0 {
+		return m.InitialProbs(), st, nil
+	}
+	if len(samples) == 0 {
+		return nil, st, fmt.Errorf("tomography: no samples")
+	}
+
+	// Deduplicate observations into (value, count) — durations are
+	// quantized so collapsing repeats makes EM cost independent of the
+	// sample count.
+	obs, counts := dedup(samples)
+
+	probs := m.InitialProbs()
+	nPaths := len(m.Paths)
+
+	// Precompute kernel support per observation.
+	type support struct {
+		paths []int
+		vals  []float64 // kernel value (box: 1)
+	}
+	supports := make([]support, len(obs))
+	for i, t := range obs {
+		var s support
+		for j, tau := range m.PathTimes {
+			if math.Abs(t-tau) <= cfg.KernelHalfWidth {
+				s.paths = append(s.paths, j)
+				s.vals = append(s.vals, 1)
+			}
+		}
+		if len(s.paths) == 0 {
+			// No path within the kernel: soft-assign to the nearest path
+			// so the observation still informs the estimate.
+			best, bd := -1, math.Inf(1)
+			for j, tau := range m.PathTimes {
+				if d := math.Abs(t - tau); d < bd {
+					best, bd = j, d
+				}
+			}
+			s.paths = []int{best}
+			s.vals = []float64{1}
+			st.Unmatched += counts[i]
+		}
+		supports[i] = s
+	}
+
+	prior := make([]float64, nPaths)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		st.Iterations = iter + 1
+		// Path priors under current θ.
+		for j, p := range m.Paths {
+			prior[j] = p.Prob(probs)
+		}
+
+		// E-step + M-step accumulation.
+		edgeW := make(map[[2]ir.BlockID]float64) // edge → expected traversals
+		ll := 0.0
+		for i := range obs {
+			s := supports[i]
+			den := 0.0
+			for k, j := range s.paths {
+				den += prior[j] * s.vals[k]
+			}
+			if den <= 0 {
+				// All supported paths currently have zero prior (can
+				// happen before smoothing kicks in); fall back to uniform
+				// responsibility over the support.
+				gamma := float64(counts[i]) / float64(len(s.paths))
+				for _, j := range s.paths {
+					accumulate(edgeW, m.Paths[j], gamma)
+				}
+				continue
+			}
+			ll += float64(counts[i]) * math.Log(den)
+			for k, j := range s.paths {
+				gamma := prior[j] * s.vals[k] / den * float64(counts[i])
+				accumulate(edgeW, m.Paths[j], gamma)
+			}
+		}
+		st.LogLikelihood = ll
+
+		// M-step: renormalize per branch block with smoothing.
+		next := probs.Clone()
+		maxDelta := 0.0
+		for _, u := range m.Unknowns {
+			total := 0.0
+			for _, e := range u.Edges {
+				total += edgeW[e] + cfg.Alpha
+			}
+			if total <= 0 {
+				continue
+			}
+			for _, e := range u.Edges {
+				p := (edgeW[e] + cfg.Alpha) / total
+				if d := math.Abs(p - next[e]); d > maxDelta {
+					maxDelta = d
+				}
+				next[e] = p
+			}
+		}
+		probs = next
+		if maxDelta < cfg.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	return probs, st, nil
+}
+
+func accumulate(edgeW map[[2]ir.BlockID]float64, p *markov.Path, gamma float64) {
+	// Iterate the ordered arc list, not the map: floating-point sums must
+	// be reproducible run to run.
+	for _, a := range p.Arcs {
+		edgeW[a.Edge] += gamma * float64(a.Count)
+	}
+}
+
+// dedup collapses equal sample values into (value, count) pairs in
+// deterministic (ascending) order — durations are quantized, so this makes
+// the EM cost independent of the raw sample count.
+func dedup(samples []float64) ([]float64, []int) {
+	m := make(map[float64]int)
+	for _, s := range samples {
+		m[s]++
+	}
+	vals := make([]float64, 0, len(m))
+	for v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	counts := make([]int, len(vals))
+	for i, v := range vals {
+		counts[i] = m[v]
+	}
+	return vals, counts
+}

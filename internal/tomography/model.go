@@ -1,0 +1,254 @@
+// Package tomography implements Code Tomography — the paper's central
+// contribution. A procedure's execution under nondeterministic inputs is a
+// discrete-time Markov chain over its basic blocks (package markov) whose
+// branch probabilities are unknown. The only observations are end-to-end
+// durations measured at each procedure's start and end points, quantized by
+// the mote's coarse hardware timer. Because every block and edge has a
+// deterministic cycle cost known to the compiler, the duration distribution
+// is a finite mixture over execution paths, and the branch probabilities
+// can be estimated by inverting that mixture.
+//
+// Three estimators are provided:
+//
+//   - EM over the path mixture (Estimate/EstimateEM) — the primary method.
+//   - Moment matching on the analytic mean/variance (EstimateMoments).
+//   - Histogram nonnegative least squares (EstimateHistogram).
+package tomography
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/compile"
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+)
+
+// ErrNoBranches means the procedure has nothing to estimate.
+var ErrNoBranches = errors.New("tomography: procedure has no branches")
+
+// Unknown is one branch block whose outgoing distribution is estimated.
+type Unknown struct {
+	Block ir.BlockID
+	// Edges are the block's outgoing edges in successor order.
+	Edges [][2]ir.BlockID
+}
+
+// Model binds a procedure's CFG to its compiled timing metadata: the path
+// set, each path's deterministic duration, and the set of unknowns.
+type Model struct {
+	Proc  *cfg.Proc
+	Meta  *compile.Meta
+	PM    *compile.ProcMeta
+	Costs *markov.Costs
+
+	Paths     []*markov.Path
+	PathTimes []float64
+	Truncated bool
+
+	Unknowns []Unknown
+}
+
+// NewModel builds the estimation model for one procedure of a compiled
+// program. pred must be the branch predictor of the mote the measurements
+// came from (it determines per-edge penalty cycles).
+func NewModel(out *compile.Output, procName string, pred compile.Predictor, enum markov.EnumerateOptions) (*Model, error) {
+	pm, ok := out.Meta.ProcByName[procName]
+	if !ok {
+		return nil, fmt.Errorf("tomography: unknown procedure %q", procName)
+	}
+	proc := out.CFG.Proc(procName)
+	if proc == nil {
+		return nil, fmt.Errorf("tomography: procedure %q missing from CFG", procName)
+	}
+	costs, err := BuildCosts(out.Meta, pm, proc, pred)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Proc: proc, Meta: out.Meta, PM: pm, Costs: costs}
+	m.Paths, m.Truncated = markov.Enumerate(proc, enum)
+	if len(m.Paths) == 0 {
+		return nil, fmt.Errorf("tomography: %q has no terminating path within bounds", procName)
+	}
+	m.PathTimes = make([]float64, len(m.Paths))
+	for i, p := range m.Paths {
+		m.PathTimes[i] = markov.PathTime(p, costs)
+	}
+	for _, bb := range proc.BranchBlocks() {
+		u := Unknown{Block: bb}
+		for _, s := range proc.Block(bb).Succs() {
+			u.Edges = append(u.Edges, [2]ir.BlockID{bb, s})
+		}
+		m.Unknowns = append(m.Unknowns, u)
+	}
+	return m, nil
+}
+
+// BuildCosts converts compile metadata into the Markov chain's cost
+// parameters under a given predictor.
+func BuildCosts(meta *compile.Meta, pm *compile.ProcMeta, proc *cfg.Proc, pred compile.Predictor) (*markov.Costs, error) {
+	costs := &markov.Costs{
+		Block:         make([]float64, len(proc.Blocks)),
+		Edge:          make(map[[2]ir.BlockID]float64),
+		EntryOverhead: float64(pm.EntryOverhead),
+	}
+	for id, c := range pm.BlockCycles {
+		costs.Block[int(id)] = float64(c)
+	}
+	for _, e := range proc.Edges() {
+		extra, err := meta.EdgeExtraCycles(pm, compile.EdgeKey{From: e.From, To: e.To}, pred)
+		if err != nil {
+			return nil, err
+		}
+		costs.Edge[[2]ir.BlockID{e.From, e.To}] = float64(extra)
+	}
+	return costs, nil
+}
+
+// InitialProbs returns the estimators' starting point (uniform branches).
+func (m *Model) InitialProbs() markov.EdgeProbs { return markov.Uniform(m.Proc) }
+
+// probsFromEdgeWeights converts expected edge-traversal weights into a
+// probability assignment: each branch block's outgoing weights are
+// normalized (with additive smoothing alpha so no edge is pinned to zero);
+// unconditional edges stay 1.
+func (m *Model) probsFromEdgeWeights(w map[[2]ir.BlockID]float64, alpha float64) markov.EdgeProbs {
+	probs := markov.Uniform(m.Proc)
+	for _, u := range m.Unknowns {
+		total := 0.0
+		for _, e := range u.Edges {
+			total += w[e] + alpha
+		}
+		if total <= 0 {
+			continue // keep uniform
+		}
+		for _, e := range u.Edges {
+			probs[e] = (w[e] + alpha) / total
+		}
+	}
+	return probs
+}
+
+// Coverage returns the fraction of samples lying within halfWidth of some
+// enumerated path's duration. Low coverage means the path model does not
+// explain the observations (usually a loop whose realized iteration counts
+// exceed the unrolling bound) and the estimate should not be trusted.
+func (m *Model) Coverage(samples []float64, halfWidth float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range samples {
+		for _, tau := range m.PathTimes {
+			if d := s - tau; d <= halfWidth && d >= -halfWidth {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(samples))
+}
+
+// BranchAmbiguity returns, for each branch block, the (uniform-prior)
+// probability mass of paths whose usage of that block's outgoing edges
+// cannot be determined from the observed duration: some path within
+// window cycles uses the block's arms differently. Paths further apart
+// than a few cycles remain statistically separable even under a coarse
+// timer (their tick distributions differ), so the window should be small —
+// the pipeline uses ~half the tick. An ambiguity near 1 means
+// the duration mixture carries no information about that branch at the
+// given timer resolution — EM will converge confidently to an arbitrary
+// answer for it. Unlike Coverage this needs no samples; it is a structural
+// property of the program and the clock.
+func (m *Model) BranchAmbiguity(window float64) map[ir.BlockID]float64 {
+	out := make(map[ir.BlockID]float64, len(m.Unknowns))
+	n := len(m.Paths)
+	if n == 0 {
+		return out
+	}
+	uniform := m.InitialProbs()
+	prior := make([]float64, n)
+	total := 0.0
+	for j, p := range m.Paths {
+		prior[j] = p.Prob(uniform)
+		total += prior[j]
+	}
+	if total == 0 {
+		return out
+	}
+	if window <= 0 {
+		window = 1
+	}
+	bucketOf := func(t float64) int64 { return int64(t / window) }
+
+	for _, u := range m.Unknowns {
+		// Per-path signature: this block's out-edge traversal counts.
+		sig := make([]uint64, n)
+		for j, p := range m.Paths {
+			s := uint64(0)
+			for _, e := range u.Edges {
+				s = s*1000003 + uint64(p.EdgeCounts[e])
+			}
+			sig[j] = s
+		}
+		type bs struct {
+			sig      uint64
+			multiple bool
+		}
+		buckets := make(map[int64]*bs)
+		for j := range m.Paths {
+			b := bucketOf(m.PathTimes[j])
+			cur := buckets[b]
+			if cur == nil {
+				buckets[b] = &bs{sig: sig[j]}
+			} else if !cur.multiple && cur.sig != sig[j] {
+				cur.multiple = true
+			}
+		}
+		mass := 0.0
+		for j := range m.Paths {
+			b := bucketOf(m.PathTimes[j])
+			conf := false
+			for _, nb := range [3]int64{b - 1, b, b + 1} {
+				if cur := buckets[nb]; cur != nil && (cur.multiple || cur.sig != sig[j]) {
+					conf = true
+					break
+				}
+			}
+			if conf {
+				mass += prior[j]
+			}
+		}
+		out[u.Block] = mass / total
+	}
+	return out
+}
+
+// BranchEdgeList returns the branch edges in a stable order — the vector
+// layout used when comparing estimates against ground truth.
+func (m *Model) BranchEdgeList() [][2]ir.BlockID {
+	var out [][2]ir.BlockID
+	for _, u := range m.Unknowns {
+		out = append(out, u.Edges...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ProbVector projects an EdgeProbs assignment onto the BranchEdgeList
+// layout.
+func (m *Model) ProbVector(probs markov.EdgeProbs) []float64 {
+	edges := m.BranchEdgeList()
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		out[i] = probs[e]
+	}
+	return out
+}

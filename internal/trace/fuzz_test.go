@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"codetomo/internal/mote"
+)
+
+// FuzzReadEvents checks the trace decoder never panics on arbitrary bytes,
+// and that anything it accepts round-trips.
+func FuzzReadEvents(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteEvents(&good, nil)
+	f.Add(good.Bytes())
+	f.Add([]byte("CTT1"))
+	f.Add([]byte("CTT1\x02\x00\x00\x00junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEvents(&buf, events); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(events))
+		}
+	})
+}
+
+// FuzzExtract checks interval reconstruction never panics and never
+// produces inverted intervals, for arbitrary monotone event sequences.
+func FuzzExtract(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 1, 1})
+	f.Add([]byte{2, 3})
+	f.Fuzz(func(t *testing.T, ids []byte) {
+		events := make([]mote.TraceEvent, 0, len(ids))
+		tick := uint64(0)
+		for _, id := range ids {
+			tick += uint64(id % 7)
+			events = append(events, mote.TraceEvent{ID: int32(id % 16), Tick: tick})
+		}
+		ivs, err := Extract(events)
+		if err != nil {
+			return // malformed logs are rejected, not crashed on
+		}
+		for _, iv := range ivs {
+			if iv.ExitTick < iv.EnterTick {
+				t.Fatalf("inverted interval: %+v", iv)
+			}
+			if iv.ExclusiveTicks() > iv.GrossTicks() {
+				t.Fatalf("exclusive exceeds gross: %+v", iv)
+			}
+		}
+	})
+}

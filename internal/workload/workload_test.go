@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"codetomo/internal/stats"
+)
+
+func TestClampRange(t *testing.T) {
+	srcs := []interface{ Next() uint16 }{
+		NewGaussian(stats.NewRNG(1), 500, 400),
+		NewUniform(stats.NewRNG(2), 10, 20),
+		NewPoissonEvents(stats.NewRNG(3), 0.1, 5),
+		NewMarkovModulated(stats.NewRNG(4), 0.9, 0.8),
+		NewDiurnal(stats.NewRNG(5), 400, 300, 128),
+	}
+	for i, s := range srcs {
+		for k := 0; k < 5000; k++ {
+			if v := s.Next(); v > 1023 {
+				t.Fatalf("source %d produced %d > 1023", i, v)
+			}
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(stats.NewRNG(7), 100, 110)
+	seen := make(map[uint16]bool)
+	for i := 0; i < 10000; i++ {
+		v := u.Next()
+		if v < 100 || v > 110 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("uniform support = %d values, want 11", len(seen))
+	}
+	// Swapped bounds are normalized.
+	u2 := NewUniform(stats.NewRNG(8), 50, 40)
+	if u2.Lo != 40 || u2.Hi != 50 {
+		t.Fatal("bounds not normalized")
+	}
+}
+
+func TestGaussianMean(t *testing.T) {
+	g := NewGaussian(stats.NewRNG(9), 300, 20)
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next())
+	}
+	mean := sum / float64(n)
+	if mean < 295 || mean > 305 {
+		t.Fatalf("mean = %v, want ~300", mean)
+	}
+}
+
+func TestPoissonEventsBimodal(t *testing.T) {
+	p := NewPoissonEvents(stats.NewRNG(11), 0.05, 8)
+	low, high := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := p.Next()
+		if v < 300 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("not bimodal: low=%d high=%d", low, high)
+	}
+	// Events with p=0.05, mean duration 8 → roughly 30% of time in spike.
+	frac := float64(high) / 20000
+	if frac < 0.1 || frac > 0.6 {
+		t.Fatalf("spike fraction = %v, outside plausible band", frac)
+	}
+}
+
+func TestMarkovModulatedSwitches(t *testing.T) {
+	m := NewMarkovModulated(stats.NewRNG(13), 0.9, 0.9)
+	switches := 0
+	prevHigh := false
+	for i := 0; i < 20000; i++ {
+		high := m.Next() > 350
+		if i > 0 && high != prevHigh {
+			switches++
+		}
+		prevHigh = high
+	}
+	if switches < 100 {
+		t.Fatalf("regime switches = %d, want many", switches)
+	}
+}
+
+func TestDiurnalPeriodicity(t *testing.T) {
+	d := NewDiurnal(stats.NewRNG(15), 400, 200, 100)
+	// Average first quarter (rising) vs third quarter (falling below base).
+	var q1, q3 float64
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(d.Next())
+	}
+	for i := 10; i < 40; i++ {
+		q1 += vals[i]
+	}
+	for i := 60; i < 90; i++ {
+		q3 += vals[i]
+	}
+	if q1 <= q3 {
+		t.Fatalf("no sinusoidal structure: q1=%v q3=%v", q1/30, q3/30)
+	}
+}
+
+func TestNamedRegistry(t *testing.T) {
+	for _, name := range RegimeNames() {
+		src, ok := Named(name, stats.NewRNG(1))
+		if !ok || src == nil {
+			t.Fatalf("regime %q missing", name)
+		}
+	}
+	if _, ok := Named("nope", stats.NewRNG(1)); ok {
+		t.Fatal("unknown regime accepted")
+	}
+}
+
+func TestEntropyFullRange(t *testing.T) {
+	e := NewEntropy(stats.NewRNG(17))
+	var hi bool
+	for i := 0; i < 1000; i++ {
+		if e.Next() > 1023 {
+			hi = true
+			break
+		}
+	}
+	if !hi {
+		t.Fatal("entropy never exceeded ADC range; not full width")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewPoissonEvents(stats.NewRNG(42), 0.05, 8)
+	b := NewPoissonEvents(stats.NewRNG(42), 0.05, 8)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
