@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// FrameWords returns the stack-frame size of a procedure in words, below
+// the frame pointer: local scalars, local arrays, and IR temps. This
+// mirrors the backend's frame layout (compile.newFrame) exactly.
+func FrameWords(p *cfg.Proc) int {
+	n := len(p.Locals) + p.NumTemp
+	for _, length := range p.Arrays {
+		n += length
+	}
+	return n
+}
+
+// frameOccupancy is what one activation of a procedure adds to the stack
+// beyond its caller's argument pushes: the CALL-pushed return address, the
+// saved frame pointer, and the frame itself.
+func frameOccupancy(p *cfg.Proc) int { return 2 + FrameWords(p) }
+
+// MaxAcyclicCycles returns the worst-case cycle count of a single acyclic
+// traversal of the procedure — the longest entry-to-anywhere path with
+// every loop back edge cut — given per-block cycle costs (typically the
+// backend's exact static timing, compile.ProcMeta.BlockCycles). The
+// second result reports whether the CFG contains loops, in which case the
+// true worst case is unbounded and the acyclic figure is a per-"iteration
+// envelope" bound.
+func MaxAcyclicCycles(p *cfg.Proc, blockCycles map[ir.BlockID]uint64) (uint64, bool) {
+	rpo := p.ReversePostorder()
+	pos := make(map[ir.BlockID]int, len(rpo))
+	for i, id := range rpo {
+		pos[id] = i
+	}
+	dist := make(map[ir.BlockID]uint64, len(rpo))
+	hasLoop := false
+	var max uint64
+	for _, id := range rpo {
+		d := dist[id] + blockCycles[id]
+		if d > max {
+			max = d
+		}
+		for _, s := range p.Block(id).Succs() {
+			if pos[s] <= pos[id] {
+				// Retreating edge: a loop. Cut it for the bound.
+				hasLoop = true
+				continue
+			}
+			if d > dist[s] {
+				dist[s] = d
+			}
+		}
+	}
+	return max, hasLoop
+}
+
+// StackBound is the worst-case stack usage of one procedure including its
+// deepest call chain.
+type StackBound struct {
+	// Words is the worst-case words pushed from the procedure's entry
+	// (return address, saved FP, frame, and the deepest callee chain with
+	// its argument pushes). Zero when Recursive.
+	Words int
+	// Recursive marks procedures that participate in or can reach a call
+	// cycle, for which no static bound exists.
+	Recursive bool
+}
+
+// StackBounds computes the worst-case stack depth of every procedure over
+// the program's call graph, detecting recursion. Builtins consume no
+// stack.
+func StackBounds(prog *cfg.Program) map[string]StackBound {
+	type callSite struct {
+		callee string
+		args   int
+	}
+	calls := make(map[string][]callSite)
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := in.(ir.Call); ok {
+					calls[p.Name] = append(calls[p.Name], callSite{callee: c.Fn, args: len(c.Args)})
+				}
+			}
+		}
+	}
+
+	out := make(map[string]StackBound, len(prog.Procs))
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the DFS stack
+		black = 2 // done
+	)
+	color := make(map[string]int)
+	var depth func(name string) (int, bool) // (words, recursive)
+	depth = func(name string) (int, bool) {
+		p := prog.Proc(name)
+		if p == nil {
+			return 0, false // unknown callee: Generate rejects it anyway
+		}
+		switch color[name] {
+		case gray:
+			return 0, true // back edge in the call graph: recursion
+		case black:
+			b := out[name]
+			return b.Words, b.Recursive
+		}
+		color[name] = gray
+		words := frameOccupancy(p)
+		rec := false
+		deepest := 0
+		for _, cs := range calls[name] {
+			d, r := depth(cs.callee)
+			if r {
+				rec = true
+			}
+			if cs.args+d > deepest {
+				deepest = cs.args + d
+			}
+		}
+		color[name] = black
+		b := StackBound{Words: words + deepest, Recursive: rec}
+		if rec {
+			b.Words = 0
+		}
+		out[name] = b
+		return b.Words, b.Recursive
+	}
+	for _, p := range prog.Procs {
+		depth(p.Name)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+	"codetomo/internal/minic"
+)
+
+// Verify checks that a lowered program is well-formed enough for every
+// later stage — optimization passes, layout, code generation, and the
+// timing model — to rely on. It is the inter-pass contract: compile.Build
+// runs it after lowering and after every CFG-mutating pass when
+// Options.VerifyIR is set, so a pass that breaks an invariant (say, a
+// fusion that drops a still-read temp) fails loudly at the pass that broke
+// it rather than as a wrong answer in the simulator.
+//
+// Beyond the structural checks of cfg.Program.Validate, Verify enforces:
+//
+//   - the entry block has no predecessors (the backend places the
+//     prologue there and must not re-execute it);
+//   - every temp is defined on every path before it is read
+//     (def-before-use, via a definite-assignment dataflow);
+//   - every named variable and array resolves to a parameter, local, or
+//     global of the right shape;
+//   - calls match their callee's signature (existence, arity, and result
+//     use vs. void), and builtins match the minic.Builtins table;
+//   - return terminators agree with the procedure's declared result.
+func Verify(prog *cfg.Program) error {
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("analysis: verify: %w", err)
+	}
+	seen := make(map[string]bool, len(prog.Procs))
+	for _, p := range prog.Procs {
+		if seen[p.Name] {
+			return fmt.Errorf("analysis: verify: duplicate procedure %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, p := range prog.Procs {
+		if err := verifyProc(prog, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyProc(prog *cfg.Program, p *cfg.Proc) error {
+	errf := func(b ir.BlockID, format string, args ...any) error {
+		return fmt.Errorf("analysis: verify: %s/%v: %s", p.Name, b, fmt.Sprintf(format, args...))
+	}
+
+	// Entry must have no predecessors.
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs() {
+			if s == p.Entry {
+				return errf(b.ID, "edge targets the entry block (the prologue would re-execute)")
+			}
+		}
+	}
+
+	// Scalar and array name tables.
+	scalars := make(map[string]bool)
+	for _, name := range p.Params {
+		scalars[name] = true
+	}
+	for _, name := range p.Locals {
+		scalars[name] = true
+	}
+	for _, name := range prog.Globals {
+		scalars[name] = true
+	}
+	arrays := make(map[string]int)
+	for name, n := range p.Arrays {
+		arrays[name] = n
+	}
+	for name, n := range prog.GlobalArrays {
+		arrays[name] = n
+	}
+
+	reach := p.Reachable()
+	for _, b := range p.Blocks {
+		for i, in := range b.Instrs {
+			if err := verifyInstr(prog, p, scalars, arrays, b, i, in); err != nil {
+				return err
+			}
+		}
+		switch t := b.Term.(type) {
+		case ir.Ret:
+			if p.HasRet && t.Val < 0 && reach[b.ID] {
+				return errf(b.ID, "void return in value-returning procedure")
+			}
+			if !p.HasRet && t.Val >= 0 {
+				return errf(b.ID, "value return in void procedure")
+			}
+		}
+	}
+
+	// Def-before-use over temps — catches passes that drop or reorder a
+	// definition some other block still reads.
+	if uses := UninitTempUses(p); len(uses) > 0 {
+		u := uses[0]
+		return errf(u.Block, "instr %d reads %v before any definition on some path", u.Index, u.Temp)
+	}
+	return nil
+}
+
+func verifyInstr(prog *cfg.Program, p *cfg.Proc, scalars map[string]bool, arrays map[string]int, b *cfg.Block, i int, in ir.Instr) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("analysis: verify: %s/%v instr %d (%s): %s",
+			p.Name, b.ID, i, in, fmt.Sprintf(format, args...))
+	}
+	switch v := in.(type) {
+	case ir.LoadVar:
+		if !scalars[v.Name] {
+			return errf("unresolved scalar %q", v.Name)
+		}
+	case ir.StoreVar:
+		if !scalars[v.Name] {
+			return errf("unresolved scalar %q", v.Name)
+		}
+	case ir.LoadIndex:
+		if _, ok := arrays[v.Array]; !ok {
+			return errf("unresolved array %q", v.Array)
+		}
+	case ir.StoreIndex:
+		if _, ok := arrays[v.Array]; !ok {
+			return errf("unresolved array %q", v.Array)
+		}
+	case ir.Call:
+		callee := prog.Proc(v.Fn)
+		if callee == nil {
+			return errf("call to unknown procedure %q", v.Fn)
+		}
+		if len(v.Args) != len(callee.Params) {
+			return errf("call to %q with %d args, want %d", v.Fn, len(v.Args), len(callee.Params))
+		}
+		if v.Dst >= 0 && !callee.HasRet {
+			return errf("result of void procedure %q is used", v.Fn)
+		}
+	case ir.Builtin:
+		sig, ok := minic.Builtins[v.Name]
+		if !ok {
+			return errf("unknown builtin %q", v.Name)
+		}
+		if len(v.Args) != sig.Arity {
+			return errf("builtin %q with %d args, want %d", v.Name, len(v.Args), sig.Arity)
+		}
+		if v.Dst >= 0 && !sig.HasRet {
+			return errf("result of void builtin %q is used", v.Name)
+		}
+	}
+	return nil
+}

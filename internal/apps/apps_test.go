@@ -61,7 +61,7 @@ func TestAllAppsCompileRunAndProfile(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, mode := range []compile.Mode{compile.ModeNone, compile.ModeTimestamps, compile.ModeEdgeCounters} {
-				out, err := compile.Build(src, compile.Options{Instrument: mode})
+				out, err := compile.Build(src, compile.Options{Instrument: mode, VerifyIR: true})
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
 				}

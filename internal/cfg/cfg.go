@@ -19,6 +19,20 @@ type Block struct {
 	Label  string // human-readable label for listings and DOT output
 	Instrs []ir.Instr
 	Term   ir.Terminator
+	// SrcPos optionally records, per instruction, the source position of
+	// the statement that produced it (parallel to Instrs). Either empty or
+	// exactly len(Instrs) long; Validate enforces the invariant. Passes
+	// that copy or splice Instrs must keep SrcPos in sync.
+	SrcPos []ir.Pos
+}
+
+// InstrPos returns the source position of instruction i, or the zero Pos
+// when positions were not recorded.
+func (b *Block) InstrPos(i int) ir.Pos {
+	if i < 0 || i >= len(b.SrcPos) {
+		return ir.Pos{}
+	}
+	return b.SrcPos[i]
 }
 
 // Succs returns the successor block IDs of b.
@@ -148,10 +162,15 @@ func (p *Proc) Exits() []ir.BlockID {
 
 // Validate checks the structural invariants the rest of the pipeline relies
 // on: every block has a terminator, successor IDs are in range, block IDs
-// match their index, and the entry is in range.
+// match their index, the entry is in range, SrcPos (when present) parallels
+// Instrs, and every temp referenced by an instruction or terminator lies in
+// [0, NumTemp).
 func (p *Proc) Validate() error {
 	if int(p.Entry) < 0 || int(p.Entry) >= len(p.Blocks) {
 		return fmt.Errorf("cfg: %s: entry %v out of range", p.Name, p.Entry)
+	}
+	if p.NumTemp < 0 {
+		return fmt.Errorf("cfg: %s: negative NumTemp %d", p.Name, p.NumTemp)
 	}
 	for i, b := range p.Blocks {
 		if b == nil {
@@ -163,13 +182,55 @@ func (p *Proc) Validate() error {
 		if b.Term == nil {
 			return fmt.Errorf("cfg: %s: block %v lacks a terminator", p.Name, b.ID)
 		}
+		if len(b.SrcPos) != 0 && len(b.SrcPos) != len(b.Instrs) {
+			return fmt.Errorf("cfg: %s: block %v has %d source positions for %d instructions",
+				p.Name, b.ID, len(b.SrcPos), len(b.Instrs))
+		}
 		for _, s := range b.Succs() {
 			if int(s) < 0 || int(s) >= len(p.Blocks) {
 				return fmt.Errorf("cfg: %s: block %v has out-of-range successor %v", p.Name, b.ID, s)
 			}
 		}
+		if err := p.validateTemps(b); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// validateTemps checks that every temp a block references is consistent
+// with the procedure's declared NumTemp.
+func (p *Proc) validateTemps(b *Block) error {
+	check := func(t ir.Temp, what string, idx int) error {
+		if int(t) < 0 || int(t) >= p.NumTemp {
+			return fmt.Errorf("cfg: %s: block %v instr %d: %s %v outside [0, NumTemp=%d)",
+				p.Name, b.ID, idx, what, t, p.NumTemp)
+		}
+		return nil
+	}
+	var err error
+	for idx, in := range b.Instrs {
+		if err != nil {
+			break
+		}
+		if d, ok := ir.InstrDef(in); ok && err == nil {
+			err = check(d, "def", idx)
+		}
+		ir.InstrUses(in, func(t ir.Temp) {
+			if err == nil {
+				err = check(t, "use", idx)
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	ir.TermUses(b.Term, func(t ir.Temp) {
+		if err == nil {
+			err = check(t, "terminator use", len(b.Instrs))
+		}
+	})
+	return err
 }
 
 // String renders the procedure as a readable listing.
@@ -214,11 +275,15 @@ func (p *Program) Proc(name string) *Proc {
 	return nil
 }
 
-// Validate validates all procedures.
+// Validate validates all procedures, identifying the offending procedure
+// by name and index in the error.
 func (p *Program) Validate() error {
-	for _, pr := range p.Procs {
+	for i, pr := range p.Procs {
+		if pr == nil {
+			return fmt.Errorf("cfg: program: nil procedure at index %d", i)
+		}
 		if err := pr.Validate(); err != nil {
-			return err
+			return fmt.Errorf("proc %d (%s): %w", i, pr.Name, err)
 		}
 	}
 	return nil

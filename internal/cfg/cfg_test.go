@@ -12,8 +12,9 @@ import (
 //	b0 -> b1, b2 (branch); b1 -> b3; b2 -> b3; b3 -> ret
 func diamond() *Proc {
 	return &Proc{
-		Name:  "diamond",
-		Entry: 0,
+		Name:    "diamond",
+		Entry:   0,
+		NumTemp: 1,
 		Blocks: []*Block{
 			{ID: 0, Label: "entry", Term: ir.Br{Cond: 0, True: 1, False: 2}},
 			{ID: 1, Label: "then", Term: ir.Jmp{Target: 3}},
@@ -28,8 +29,9 @@ func diamond() *Proc {
 //	b0 -> b1; b1 -> b2, b3 (branch); b2 -> b1 (back edge); b3 -> ret
 func loopProc() *Proc {
 	return &Proc{
-		Name:  "loop",
-		Entry: 0,
+		Name:    "loop",
+		Entry:   0,
+		NumTemp: 1,
 		Blocks: []*Block{
 			{ID: 0, Label: "entry", Term: ir.Jmp{Target: 1}},
 			{ID: 1, Label: "head", Term: ir.Br{Cond: 0, True: 2, False: 3}},
@@ -57,6 +59,51 @@ func TestValidate(t *testing.T) {
 	p.Blocks[0].ID = 5
 	if err := p.Validate(); err == nil {
 		t.Fatal("mismatched block ID accepted")
+	}
+}
+
+func TestValidateTempConsistency(t *testing.T) {
+	p := diamond()
+	p.NumTemp = 0 // branch in b0 reads t0
+	if err := p.Validate(); err == nil {
+		t.Fatal("temp use beyond NumTemp accepted")
+	}
+	p = diamond()
+	p.NumTemp = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative NumTemp accepted")
+	}
+	p = diamond()
+	p.Blocks[1].Instrs = []ir.Instr{ir.Bin{Dst: 7, Op: ir.OpAdd, A: 0, B: 0}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("temp def beyond NumTemp accepted")
+	}
+}
+
+func TestValidateSrcPosParallel(t *testing.T) {
+	p := diamond()
+	p.NumTemp = 2
+	p.Blocks[1].Instrs = []ir.Instr{ir.Const{Dst: 1, Val: 3}}
+	p.Blocks[1].SrcPos = []ir.Pos{{Line: 1, Col: 1}, {Line: 2, Col: 1}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched SrcPos length accepted")
+	}
+	p.Blocks[1].SrcPos = p.Blocks[1].SrcPos[:1]
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramValidateNamesOffender(t *testing.T) {
+	bad := diamond()
+	bad.Blocks[2].Term = nil
+	prog := &Program{Procs: []*Proc{loopProc(), bad}}
+	err := prog.Validate()
+	if err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if !strings.Contains(err.Error(), "proc 1 (diamond)") {
+		t.Fatalf("error does not identify the offending proc: %v", err)
 	}
 }
 

@@ -9,9 +9,9 @@ import (
 	"codetomo/internal/isa"
 )
 
-// globalBase is the first RAM word used for globals (low words are left
+// GlobalBase is the first RAM word used for globals (low words are left
 // free as a guard/zero page).
-const globalBase = 32
+const GlobalBase = 32
 
 // Options configures code generation.
 type Options struct {
@@ -36,6 +36,11 @@ type Options struct {
 	// code generation (see RotateLoops), turning loop latches into
 	// backward conditional branches that BTFN-style prediction wins on.
 	RotateLoops bool
+	// VerifyIR runs the strict IR verifier (analysis.Verify) on the CFG
+	// after lowering and again after every CFG-mutating pass, so a pass
+	// that breaks an invariant fails at the pass that broke it. The test
+	// suite keeps it always on; production builds may skip it for speed.
+	VerifyIR bool
 	// Cost is the cycle/size table; nil means isa.DefaultCostModel().
 	Cost *isa.CostModel
 }
@@ -118,7 +123,7 @@ func Generate(prog *cfg.Program, opts Options) (*Output, error) {
 }
 
 func (e *emitter) layoutGlobals() {
-	addr := int32(globalBase)
+	addr := int32(GlobalBase)
 	for _, name := range e.prog.Globals {
 		e.globalScalars[name] = addr
 		e.meta.GlobalAddr[name] = addr

@@ -21,11 +21,8 @@ func Build(src string, opts Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.RotateLoops {
-		RotateLoops(prog)
-		if err := prog.Validate(); err != nil {
-			return nil, fmt.Errorf("compile: loop rotation produced invalid CFG: %w", err)
-		}
+	if err := runPasses(prog, opts); err != nil {
+		return nil, err
 	}
 	return Generate(prog, opts)
 }

@@ -202,13 +202,16 @@ func (s scripted) Next() uint16 {
 }
 
 func TestDifferentialRandomPrograms(t *testing.T) {
+	// VerifyIR is on everywhere: each random program re-verifies the IR
+	// after every pass, making this a miscompile detector as well as a
+	// differential tester.
 	variants := []Options{
-		{},
-		{FuseCompares: true},
-		{RotateLoops: true},
-		{FuseCompares: true, RotateLoops: true},
-		{Instrument: ModeTimestamps, FuseCompares: true},
-		{Instrument: ModeEdgeCounters},
+		{VerifyIR: true},
+		{FuseCompares: true, VerifyIR: true},
+		{RotateLoops: true, VerifyIR: true},
+		{FuseCompares: true, RotateLoops: true, VerifyIR: true},
+		{Instrument: ModeTimestamps, FuseCompares: true, VerifyIR: true},
+		{Instrument: ModeEdgeCounters, VerifyIR: true},
 	}
 	seeds := int64(60)
 	if testing.Short() {

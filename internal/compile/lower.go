@@ -27,6 +27,10 @@ type lowerer struct {
 	nTemp  int
 	breaks []ir.BlockID // innermost-last break targets
 	conts  []ir.BlockID // innermost-last continue targets
+	// pos is the source position of the statement currently being lowered;
+	// emit stamps it onto each instruction (cfg.Block.SrcPos) so CFG-level
+	// analyses can report file:line diagnostics.
+	pos ir.Pos
 }
 
 // Lower converts a checked MiniC file into CFG form. It assumes
@@ -111,6 +115,7 @@ func (l *lowerer) emit(in ir.Instr) {
 		l.cur = l.newBlock("dead")
 	}
 	l.cur.Instrs = append(l.cur.Instrs, in)
+	l.cur.SrcPos = append(l.cur.SrcPos, l.pos)
 }
 
 // seal terminates the current block and switches to next.
@@ -130,7 +135,38 @@ func (l *lowerer) block(b *minic.BlockStmt) error {
 	return nil
 }
 
+// stmtPos returns the source position of a statement.
+func stmtPos(s minic.Stmt) ir.Pos {
+	var p minic.Pos
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		p = st.Pos
+	case *minic.DeclStmt:
+		p = st.Decl.Pos
+	case *minic.AssignStmt:
+		p = st.Pos
+	case *minic.IfStmt:
+		p = st.Pos
+	case *minic.WhileStmt:
+		p = st.Pos
+	case *minic.ForStmt:
+		p = st.Pos
+	case *minic.ReturnStmt:
+		p = st.Pos
+	case *minic.BreakStmt:
+		p = st.Pos
+	case *minic.ContinueStmt:
+		p = st.Pos
+	case *minic.ExprStmt:
+		p = st.Pos
+	}
+	return ir.Pos{Line: p.Line, Col: p.Col}
+}
+
 func (l *lowerer) stmt(s minic.Stmt) error {
+	if p := stmtPos(s); p.Known() {
+		l.pos = p
+	}
 	switch st := s.(type) {
 	case *minic.BlockStmt:
 		return l.block(st)

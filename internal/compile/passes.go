@@ -1,0 +1,58 @@
+package compile
+
+import (
+	"fmt"
+
+	"codetomo/internal/analysis"
+	"codetomo/internal/cfg"
+)
+
+// Pass is one named CFG-to-CFG transformation in the middle-end pipeline.
+// Passes mutate the program in place and must leave it valid; runPasses
+// checks that after every one.
+type Pass struct {
+	Name string
+	Run  func(*cfg.Program)
+}
+
+// pipeline returns the middle-end pass list selected by the options.
+// Lowering itself (including its per-procedure unreachable-block removal
+// and jump threading) runs before the pipeline; code generation after it.
+func pipeline(opts Options) []Pass {
+	var passes []Pass
+	if opts.RotateLoops {
+		passes = append(passes, Pass{Name: "rotate-loops", Run: RotateLoops})
+	}
+	return passes
+}
+
+// runPasses executes the pass pipeline with inter-pass checking: the
+// cheap structural validator always, and the strict IR verifier
+// (analysis.Verify) after lowering and after every pass when
+// Options.VerifyIR is set. The stage name in the error identifies the
+// pass that broke the CFG.
+func runPasses(prog *cfg.Program, opts Options) error {
+	if err := checkStage(prog, "lower", opts); err != nil {
+		return err
+	}
+	for _, p := range pipeline(opts) {
+		p.Run(prog)
+		if err := checkStage(prog, p.Name, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStage(prog *cfg.Program, stage string, opts Options) error {
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("compile: invalid CFG after %s: %w", stage, err)
+	}
+	if !opts.VerifyIR {
+		return nil
+	}
+	if err := analysis.Verify(prog); err != nil {
+		return fmt.Errorf("compile: IR verification failed after %s: %w", stage, err)
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ func rotateProc(p *cfg.Proc) {
 			ID:     ir.BlockID(len(p.Blocks)),
 			Label:  h.Label + "_latch",
 			Instrs: append([]ir.Instr(nil), h.Instrs...),
+			SrcPos: append([]ir.Pos(nil), h.SrcPos...),
 			Term:   br,
 		}
 		p.Blocks = append(p.Blocks, latch)

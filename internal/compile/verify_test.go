@@ -1,0 +1,133 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"codetomo/internal/analysis"
+	"codetomo/internal/ir"
+	"codetomo/internal/minic"
+)
+
+func TestVerifyAcceptsAllPasses(t *testing.T) {
+	src := `
+var g int = 3;
+var buf[4] int;
+func helper(a int, b int) int {
+	var acc int = a;
+	while (acc < b) {
+		acc = acc + (b & 7) + 1;
+	}
+	return acc;
+}
+func main() {
+	var i int;
+	for (i = 0; i < 10; i = i + 1) {
+		buf[i & 3] = helper(i, g);
+		if (buf[i & 3] > 12 && i % 2 == 0) {
+			send(buf[i & 3]);
+		} else {
+			led(i & 1);
+		}
+	}
+	debug(g);
+}`
+	for _, opts := range []Options{
+		{VerifyIR: true},
+		{VerifyIR: true, FuseCompares: true},
+		{VerifyIR: true, RotateLoops: true},
+		{VerifyIR: true, FuseCompares: true, RotateLoops: true},
+		{VerifyIR: true, RotateLoops: true, Instrument: ModeEdgeCounters},
+	} {
+		if _, err := Build(src, opts); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestVerifyCatchesBrokenPass simulates a buggy peephole that deletes an
+// instruction whose result a later block still reads — exactly the class
+// of miscompile the inter-pass verifier exists to catch.
+func TestVerifyCatchesBrokenPass(t *testing.T) {
+	src := `
+func main() {
+	var x int = 5;
+	if (sense() > 2) {
+		debug(x + 1);
+	} else {
+		debug(x - 1);
+	}
+}`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.Verify(prog); err != nil {
+		t.Fatalf("fresh lowering does not verify: %v", err)
+	}
+
+	// "Optimize away" the branch condition's definition: drop the compare
+	// that feeds main's entry-block Br.
+	p := prog.Proc("main")
+	entry := p.Block(p.Entry)
+	br, ok := entry.Term.(ir.Br)
+	if !ok {
+		t.Fatalf("entry terminator = %T, want Br", entry.Term)
+	}
+	kept := entry.Instrs[:0]
+	var keptPos []ir.Pos
+	for i, in := range entry.Instrs {
+		if d, defOK := ir.InstrDef(in); defOK && d == br.Cond {
+			continue
+		}
+		kept = append(kept, in)
+		keptPos = append(keptPos, entry.InstrPos(i))
+	}
+	entry.Instrs = kept
+	entry.SrcPos = keptPos
+
+	err = analysis.Verify(prog)
+	if err == nil {
+		t.Fatal("verifier accepted a dropped still-read definition")
+	}
+	if !strings.Contains(err.Error(), "before any definition") {
+		t.Fatalf("unexpected verifier error: %v", err)
+	}
+}
+
+// TestVerifyCatchesBadCallArity checks the call-signature rules.
+func TestVerifyCatchesBadCallArity(t *testing.T) {
+	src := `
+func f(a int) int { return a + 1; }
+func main() { debug(f(2)); }`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the call: drop its argument.
+	for _, b := range prog.Proc("main").Blocks {
+		for i, in := range b.Instrs {
+			if c, ok := in.(ir.Call); ok {
+				c.Args = nil
+				b.Instrs[i] = c
+			}
+		}
+	}
+	if err := analysis.Verify(prog); err == nil {
+		t.Fatal("verifier accepted a call with wrong arity")
+	}
+}

@@ -1,0 +1,71 @@
+package ir
+
+// Operand accessors shared by the dataflow analyses, the IR verifier, and
+// the structural validator. Keeping the def/use enumeration here — next to
+// the instruction definitions — means a new instruction kind cannot be added
+// without its operands being visible to every analysis at once.
+
+// InstrDef returns the temp defined by an instruction, if any. Call and
+// Builtin results use Temp(-1) to mean "discarded"; that is reported as no
+// definition.
+func InstrDef(in Instr) (Temp, bool) {
+	switch i := in.(type) {
+	case Const:
+		return i.Dst, true
+	case Mov:
+		return i.Dst, true
+	case Bin:
+		return i.Dst, true
+	case Un:
+		return i.Dst, true
+	case LoadVar:
+		return i.Dst, true
+	case LoadIndex:
+		return i.Dst, true
+	case Call:
+		return i.Dst, i.Dst >= 0
+	case Builtin:
+		return i.Dst, i.Dst >= 0
+	}
+	return -1, false
+}
+
+// InstrUses calls f for each temp read by an instruction, in operand order.
+func InstrUses(in Instr, f func(Temp)) {
+	switch i := in.(type) {
+	case Mov:
+		f(i.Src)
+	case Bin:
+		f(i.A)
+		f(i.B)
+	case Un:
+		f(i.A)
+	case StoreVar:
+		f(i.Src)
+	case LoadIndex:
+		f(i.Idx)
+	case StoreIndex:
+		f(i.Idx)
+		f(i.Src)
+	case Call:
+		for _, a := range i.Args {
+			f(a)
+		}
+	case Builtin:
+		for _, a := range i.Args {
+			f(a)
+		}
+	}
+}
+
+// TermUses calls f for each temp read by a terminator.
+func TermUses(t Terminator, f func(Temp)) {
+	switch tt := t.(type) {
+	case Br:
+		f(tt.Cond)
+	case Ret:
+		if tt.Val >= 0 {
+			f(tt.Val)
+		}
+	}
+}

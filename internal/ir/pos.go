@@ -1,0 +1,20 @@
+package ir
+
+import "fmt"
+
+// Pos is a source position carried through lowering so CFG-level analyses
+// can report diagnostics against the original MiniC text. The zero Pos
+// means "position unknown" (e.g. compiler-synthesized instructions).
+type Pos struct {
+	Line, Col int
+}
+
+// Known reports whether the position refers to real source text.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Known() {
+		return "?:?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

@@ -1,0 +1,14 @@
+package isa
+
+// Default memory limits of the simulated M16 part. The mote's default
+// configuration and the static cost analysis both reference these, so a
+// program the linter passes as fitting is a program the simulator can run.
+const (
+	// DefaultRAMWords is the data memory size in 16-bit words. The stack
+	// grows down from the top; globals sit at the bottom.
+	DefaultRAMWords = 4096
+	// DefaultFlashBytes is the program memory size in bytes (Harvard
+	// architecture: flash is separate from RAM and byte-accounted via
+	// CostModel.Bytes).
+	DefaultFlashBytes = 32 * 1024
+)

@@ -15,6 +15,7 @@ type symbol struct {
 	kind     symKind
 	arrayLen int
 	fn       *FuncDecl
+	used     bool // referenced anywhere after its declaration
 }
 
 // checker walks the AST validating names, arities, l-values, and control
@@ -25,14 +26,39 @@ type checker struct {
 	file    *File
 	globals map[string]*symbol
 	locals  map[string]*symbol // current function scope (flat, C89-style)
+	decls   []localDecl        // current function's params+locals, in order
+	diags   []Diagnostic
 	fn      *FuncDecl
 	loop    int // loop nesting depth
+}
+
+// localDecl remembers declaration order and position for unused-name
+// warnings (the locals map alone loses both).
+type localDecl struct {
+	name  string
+	pos   Pos
+	sym   *symbol
+	param bool
 }
 
 // Check validates a parsed file. The returned error is the first
 // diagnostic found.
 func Check(f *File) error {
+	_, err := CheckWithDiagnostics(f)
+	return err
+}
+
+// CheckWithDiagnostics validates a parsed file like Check, additionally
+// collecting non-fatal warnings (unused locals and parameters). The
+// returned slice is valid even when err is non-nil: it holds whatever
+// warnings were collected before the error stopped the walk.
+func CheckWithDiagnostics(f *File) ([]Diagnostic, error) {
 	c := &checker{file: f, globals: make(map[string]*symbol)}
+	err := c.run(f)
+	return c.diags, err
+}
+
+func (c *checker) run(f *File) error {
 
 	for _, g := range f.Globals {
 		if _, dup := c.globals[g.Name]; dup {
@@ -83,12 +109,15 @@ func Check(f *File) error {
 func (c *checker) checkFunc(fn *FuncDecl) error {
 	c.fn = fn
 	c.locals = make(map[string]*symbol)
+	c.decls = nil
 	c.loop = 0
 	for _, p := range fn.Params {
 		if _, dup := c.locals[p]; dup {
 			return errorf(fn.Pos, "duplicate parameter %q in %q", p, fn.Name)
 		}
-		c.locals[p] = &symbol{kind: symScalar}
+		sym := &symbol{kind: symScalar}
+		c.locals[p] = sym
+		c.decls = append(c.decls, localDecl{name: p, pos: fn.Pos, sym: sym, param: true})
 	}
 	if err := c.checkBlock(fn.Body); err != nil {
 		return err
@@ -96,14 +125,38 @@ func (c *checker) checkFunc(fn *FuncDecl) error {
 	if fn.HasRet && !alwaysReturns(fn.Body) {
 		return errorf(fn.Pos, "function %q declared int but control can reach the end without a return", fn.Name)
 	}
+	for _, d := range c.decls {
+		if d.sym.used {
+			continue
+		}
+		if d.param {
+			c.diags = append(c.diags, Diagnostic{
+				Pos:  d.pos,
+				Code: "unused-param",
+				Msg:  fmt.Sprintf("parameter %q of %q is never used", d.name, fn.Name),
+			})
+		} else {
+			c.diags = append(c.diags, Diagnostic{
+				Pos:  d.pos,
+				Code: "unused-var",
+				Msg:  fmt.Sprintf("variable %q is declared but never used", d.name),
+			})
+		}
+	}
 	return nil
 }
 
+// lookup resolves a name and marks the symbol as used: any mention after
+// the declaration — read or write — counts, so the unused-name warning
+// only fires for names that never appear again. Write-only variables are
+// the dead-store analysis' job, not this one's.
 func (c *checker) lookup(name string) *symbol {
 	if s, ok := c.locals[name]; ok {
+		s.used = true
 		return s
 	}
 	if s, ok := c.globals[name]; ok {
+		s.used = true
 		return s
 	}
 	return nil
@@ -144,6 +197,7 @@ func (c *checker) checkStmt(s Stmt) error {
 			}
 		}
 		c.locals[d.Name] = sym
+		c.decls = append(c.decls, localDecl{name: d.Name, pos: d.Pos, sym: sym})
 		return nil
 	case *AssignStmt:
 		sym := c.lookup(st.Name)

@@ -1,0 +1,80 @@
+package minic
+
+import "testing"
+
+func TestCheckWithDiagnosticsUnusedNames(t *testing.T) {
+	src := `
+var g int;
+func helper(a int, b int) int {
+	return a + 1;
+}
+func main() {
+	var x int = 1;
+	var y int;
+	debug(x);
+	g = helper(2, 3);
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckWithDiagnostics(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"unused-param": `parameter "b" of "helper" is never used`,
+		"unused-var":   `variable "y" is declared but never used`,
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("diagnostics = %v, want %d entries", diags, len(want))
+	}
+	for _, d := range diags {
+		if want[d.Code] != d.Msg {
+			t.Errorf("unexpected diagnostic %v", d)
+		}
+		if d.Pos.Line == 0 {
+			t.Errorf("diagnostic %v has no position", d)
+		}
+	}
+}
+
+func TestCheckWithDiagnosticsWriteOnlyIsUsed(t *testing.T) {
+	// Write-only variables are "used" here: flagging them is the dead-store
+	// analysis' job, and double-reporting would be noise.
+	src := `
+func main() {
+	var x int;
+	x = 5;
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckWithDiagnostics(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}
+
+func TestCheckWithDiagnosticsPartialOnError(t *testing.T) {
+	// helper checks clean (warning collected) before main's error stops
+	// the walk; the warning must survive.
+	src := `
+func helper(a int) int { return 1; }
+func main() { bogus(); }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckWithDiagnostics(f)
+	if err == nil {
+		t.Fatal("expected check error")
+	}
+	if len(diags) != 1 || diags[0].Code != "unused-param" {
+		t.Fatalf("diagnostics = %v, want the unused-param warning", diags)
+	}
+}

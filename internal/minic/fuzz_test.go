@@ -1,9 +1,21 @@
-package minic
+package minic_test
 
-import "testing"
+// External test package: the fuzz targets drive the whole compiler stack
+// (minic -> compile -> analysis.Verify), which package minic itself cannot
+// import without a cycle.
+
+import (
+	"strings"
+	"testing"
+
+	"codetomo/internal/compile"
+	"codetomo/internal/minic"
+)
 
 // FuzzParse checks the front end never panics and that anything it accepts
-// also passes (or is cleanly rejected by) the checker. Run with
+// also passes (or is cleanly rejected by) the checker — and that anything
+// the checker accepts lowers to IR that survives the inter-pass verifier
+// under the most aggressive option set. Run with
 // `go test -fuzz=FuzzParse ./internal/minic` for continuous fuzzing; the
 // seed corpus runs as part of the normal test suite.
 func FuzzParse(f *testing.F) {
@@ -27,17 +39,31 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		file, err := Parse(src)
+		file, err := minic.Parse(src)
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
 		// Whatever parses must go through the checker without panicking.
-		if err := Check(file); err != nil {
+		if err := minic.Check(file); err != nil {
 			return
 		}
 		// Fully valid programs must also interpret without panicking
 		// (runtime errors and step-limit stops are fine).
-		_ = Interpret(file, Env{}, 50_000)
+		_ = minic.Interpret(file, minic.Env{}, 50_000)
+
+		// And they must compile with every pass enabled and the IR
+		// re-verified after each one. Capacity-class rejections (frame or
+		// immediate overflow on absurd inputs) are acceptable; a verifier
+		// or validator failure is a compiler bug by definition.
+		_, err = compile.Build(src, compile.Options{
+			VerifyIR:     true,
+			FuseCompares: true,
+			RotateLoops:  true,
+		})
+		if err != nil && (strings.Contains(err.Error(), "IR verification failed") ||
+			strings.Contains(err.Error(), "invalid CFG")) {
+			t.Fatalf("checked program failed IR verification: %v\n%s", err, src)
+		}
 	})
 }
 
@@ -47,10 +73,10 @@ func FuzzLexer(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		lex := NewLexer(src)
+		lex := minic.NewLexer(src)
 		for i := 0; i < len(src)+16; i++ {
 			tok, err := lex.Next()
-			if err != nil || tok.Kind == EOF {
+			if err != nil || tok.Kind == minic.EOF {
 				return
 			}
 		}

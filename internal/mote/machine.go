@@ -96,7 +96,7 @@ type Config struct {
 // 4K words of RAM, an 8-cycle timer prescaler, and predict-not-taken.
 func DefaultConfig() Config {
 	return Config{
-		RAMWords:  4096,
+		RAMWords:  isa.DefaultRAMWords,
 		TickDiv:   8,
 		Predictor: StaticNotTaken{},
 		Cost:      isa.DefaultCostModel(),
@@ -129,7 +129,7 @@ type Machine struct {
 // New creates a machine loaded with the given program.
 func New(prog []isa.Instr, cfg Config) *Machine {
 	if cfg.RAMWords <= 0 {
-		cfg.RAMWords = 4096
+		cfg.RAMWords = isa.DefaultRAMWords
 	}
 	if cfg.TickDiv <= 0 {
 		cfg.TickDiv = 8

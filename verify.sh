@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh: the repo's tier-1 check. Everything here must pass before a
+# change lands: formatting, vet, a clean build, the full test suite, and
+# the linter over the example corpus (clean.mc must stay clean; the demo
+# programs only carry warnings, so ctlint exits 0 on all of them).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+badfmt=$(gofmt -l cmd internal examples)
+if [ -n "$badfmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$badfmt" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== ctlint examples"
+go run ./cmd/ctlint examples/minic/*.mc
+
+echo "verify.sh: all checks passed"
