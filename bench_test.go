@@ -1,4 +1,4 @@
-package codetomo
+package codetomo_test
 
 // One testing.B benchmark per table and figure of the evaluation (see
 // DESIGN.md's per-experiment index), so `go test -bench=.` regenerates the
@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	codetomo "codetomo"
 	"codetomo/internal/apps"
 	"codetomo/internal/bench"
 	"codetomo/internal/compile"
@@ -233,7 +234,7 @@ func BenchmarkFullPipeline(b *testing.B) {
 	b.ResetTimer()
 	var red float64
 	for i := 0; i < b.N; i++ {
-		res, err := Run(src, Config{Seed: 1})
+		res, err := codetomo.Run(src, codetomo.Config{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

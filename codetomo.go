@@ -70,6 +70,26 @@ type Config struct {
 	RotateLoops  bool
 }
 
+// Validate rejects configurations Run cannot honor. Zero values are legal
+// everywhere — they select the documented defaults — but negative knobs
+// and out-of-range fractions are configuration bugs and fail loudly
+// instead of being silently clamped.
+func (c Config) Validate() error {
+	if c.TickDiv < 0 {
+		return fmt.Errorf("codetomo: TickDiv = %d; must be positive (zero selects the default of 8)", c.TickDiv)
+	}
+	if c.MinSamples < 0 {
+		return fmt.Errorf("codetomo: MinSamples = %d; must be positive (zero selects the default of 50)", c.MinSamples)
+	}
+	if c.MaxVisits < 0 {
+		return fmt.Errorf("codetomo: MaxVisits = %d; must be positive (zero selects the default of 12)", c.MaxVisits)
+	}
+	if c.MinCoverage < 0 || c.MinCoverage > 1 {
+		return fmt.Errorf("codetomo: MinCoverage = %v; must be a fraction in [0, 1] (zero selects the default of 0.85)", c.MinCoverage)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Workload == "" {
 		c.Workload = "gaussian"
@@ -207,48 +227,108 @@ func ambiguityWindow(tickDiv int) float64 {
 	return w
 }
 
+// sensorPair builds the workload and entropy sources for one run. It is
+// called once per execution so every run of a pipeline sees the identical
+// input stream.
+func (c Config) sensorPair() (mote.SampleSource, mote.SampleSource, error) {
+	rng := stats.NewRNG(c.Seed)
+	entropy := workload.NewEntropy(stats.NewRNG(c.Seed + 7919))
+	if c.Sensor != nil {
+		return c.Sensor, entropy, nil
+	}
+	s, ok := workload.Named(c.Workload, rng)
+	if !ok {
+		return nil, nil, fmt.Errorf("codetomo: unknown workload %q", c.Workload)
+	}
+	return s, entropy, nil
+}
+
+// execute builds source with opts (plus the config's optimization flags)
+// and runs it to completion on a fresh mote. Callers must pass a config
+// whose defaults are already filled in.
+func (c Config) execute(source string, opts compile.Options) (*compile.Output, *mote.Machine, error) {
+	opts.FuseCompares = c.FuseCompares
+	opts.RotateLoops = c.RotateLoops
+	out, err := compile.Build(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sensor, entropy, err := c.sensorPair()
+	if err != nil {
+		return nil, nil, err
+	}
+	mc := mote.DefaultConfig()
+	mc.TickDiv = c.TickDiv
+	mc.Predictor = c.Predictor
+	mc.Sensor = sensor
+	mc.Entropy = entropy
+	m := mote.New(out.Code, mc)
+	if err := m.Run(c.MaxCycles); err != nil {
+		return nil, nil, err
+	}
+	return out, m, nil
+}
+
+// measureLayouts is the pipeline's tail: run the uninstrumented binary
+// under the original and the optimized layout on the identical workload,
+// and verify the optimization preserved the program's output.
+func (c Config) measureLayouts(source string, plan layout.Plan) (before, after RunStats, output []uint16, err error) {
+	_, beforeM, err := c.execute(source, compile.Options{})
+	if err != nil {
+		return RunStats{}, RunStats{}, nil, err
+	}
+	_, afterM, err := c.execute(source, compile.Options{Layouts: plan.Layouts, BranchHints: plan.Hints})
+	if err != nil {
+		return RunStats{}, RunStats{}, nil, err
+	}
+	b, a := beforeM.DebugOutput(), afterM.DebugOutput()
+	if len(b) != len(a) {
+		return RunStats{}, RunStats{}, nil, ErrOutputChanged
+	}
+	for i := range b {
+		if b[i] != a[i] {
+			return RunStats{}, RunStats{}, nil, ErrOutputChanged
+		}
+	}
+	return runStats(beforeM), runStats(afterM), a, nil
+}
+
+// branchEstimates assembles the per-edge report for one estimated
+// procedure: estimate vs oracle per branch edge, the identifiability
+// diagnostic, and the mean absolute error.
+func branchEstimates(model *tomography.Model, est, oracle markov.EdgeProbs, tickDiv int) ([]BranchEstimate, float64) {
+	ambiguity := model.BranchAmbiguity(ambiguityWindow(tickDiv))
+	var branches []BranchEstimate
+	mae := 0.0
+	for _, e := range model.BranchEdgeList() {
+		be := BranchEstimate{
+			FromBlock: int(e[0]), ToBlock: int(e[1]),
+			Prob: est[e], Oracle: oracle[e],
+			Ambiguity: ambiguity[ir.BlockID(e[0])],
+		}
+		branches = append(branches, be)
+		d := be.Prob - be.Oracle
+		if d < 0 {
+			d = -d
+		}
+		mae += d
+	}
+	if len(branches) > 0 {
+		mae /= float64(len(branches))
+	}
+	return branches, mae
+}
+
 // Run executes the full Code Tomography pipeline on MiniC source text.
 func Run(source string, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	enum := markov.EnumerateOptions{MaxVisits: cfg.MaxVisits, MaxPaths: 30000}
 
-	newSensor := func() (mote.SampleSource, mote.SampleSource, error) {
-		rng := stats.NewRNG(cfg.Seed)
-		entropy := workload.NewEntropy(stats.NewRNG(cfg.Seed + 7919))
-		if cfg.Sensor != nil {
-			return cfg.Sensor, entropy, nil
-		}
-		s, ok := workload.Named(cfg.Workload, rng)
-		if !ok {
-			return nil, nil, fmt.Errorf("codetomo: unknown workload %q", cfg.Workload)
-		}
-		return s, entropy, nil
-	}
-	execute := func(opts compile.Options) (*compile.Output, *mote.Machine, error) {
-		opts.FuseCompares = cfg.FuseCompares
-		opts.RotateLoops = cfg.RotateLoops
-		out, err := compile.Build(source, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		sensor, entropy, err := newSensor()
-		if err != nil {
-			return nil, nil, err
-		}
-		mc := mote.DefaultConfig()
-		mc.TickDiv = cfg.TickDiv
-		mc.Predictor = cfg.Predictor
-		mc.Sensor = sensor
-		mc.Entropy = entropy
-		m := mote.New(out.Code, mc)
-		if err := m.Run(cfg.MaxCycles); err != nil {
-			return nil, nil, err
-		}
-		return out, m, nil
-	}
-
 	// 1–2. Profile run with timestamp instrumentation.
-	prof, profM, err := execute(compile.Options{Instrument: compile.ModeTimestamps})
+	prof, profM, err := cfg.execute(source, compile.Options{Instrument: compile.ModeTimestamps})
 	if err != nil {
 		return nil, err
 	}
@@ -293,52 +373,17 @@ func Run(source string, cfg Config) (*Result, error) {
 			pe.Fallback = true
 			res.Estimates = append(res.Estimates, pe)
 			continue
-		} else {
-			ambiguity := model.BranchAmbiguity(ambiguityWindow(cfg.TickDiv))
-			for _, e := range model.BranchEdgeList() {
-				be := BranchEstimate{
-					FromBlock: int(e[0]), ToBlock: int(e[1]),
-					Prob: est[e], Oracle: oracle[e],
-					Ambiguity: ambiguity[ir.BlockID(e[0])],
-				}
-				pe.Branches = append(pe.Branches, be)
-				d := be.Prob - be.Oracle
-				if d < 0 {
-					d = -d
-				}
-				pe.MAE += d
-			}
-			if len(pe.Branches) > 0 {
-				pe.MAE /= float64(len(pe.Branches))
-			}
 		}
+		pe.Branches, pe.MAE = branchEstimates(model, est, oracle, cfg.TickDiv)
 		probs[p.Name] = est
 		res.Estimates = append(res.Estimates, pe)
 	}
 
-	// 4. Optimize placement and rebuild uninstrumented.
+	// 4–5. Optimize placement, rebuild uninstrumented, verify, report.
 	plan := layout.PlanAll(prof.CFG, probs)
-	_, beforeM, err := execute(compile.Options{})
+	res.Before, res.After, res.Output, err = cfg.measureLayouts(source, plan)
 	if err != nil {
 		return nil, err
 	}
-	_, afterM, err := execute(compile.Options{Layouts: plan.Layouts, BranchHints: plan.Hints})
-	if err != nil {
-		return nil, err
-	}
-
-	// 5. Verify semantics and report.
-	before, after := beforeM.DebugOutput(), afterM.DebugOutput()
-	if len(before) != len(after) {
-		return nil, ErrOutputChanged
-	}
-	for i := range before {
-		if before[i] != after[i] {
-			return nil, ErrOutputChanged
-		}
-	}
-	res.Before = runStats(beforeM)
-	res.After = runStats(afterM)
-	res.Output = after
 	return res, nil
 }

@@ -2,6 +2,7 @@ package codetomo
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"codetomo/internal/apps"
@@ -93,6 +94,38 @@ func TestPipelineConfigErrors(t *testing.T) {
 	}
 	if _, err := Run("not a program", Config{}); err == nil {
 		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	src := sourceFor(t, "sense", 100)
+	cases := []struct {
+		cfg  Config
+		want string // substring of the error
+	}{
+		{Config{TickDiv: -1}, "TickDiv"},
+		{Config{MinSamples: -5}, "MinSamples"},
+		{Config{MaxVisits: -1}, "MaxVisits"},
+		{Config{MinCoverage: -0.5}, "MinCoverage"},
+		{Config{MinCoverage: 1.01}, "MinCoverage"},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not name %q", i, err, tc.want)
+		}
+		// Run rejects the same configs up front.
+		if _, err := Run(src, tc.cfg); err == nil {
+			t.Errorf("case %d: Run accepted invalid config", i)
+		}
+	}
+	// Zero values still select defaults.
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
 	}
 }
 

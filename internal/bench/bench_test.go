@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -159,5 +159,51 @@ func TestFigF7AllRegimes(t *testing.T) {
 		if mae := floatCell(t, row[1]); mae > 0.30 {
 			t.Fatalf("regime %s MAE = %v, implausibly high", row[0], mae)
 		}
+	}
+}
+
+func TestFleetSweepShapes(t *testing.T) {
+	c := fastConfig()
+	c.Samples = 1600 // 400 per mote at the 4-mote baseline
+
+	fl1, err := FleetLossSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl1.Rows) != 5 {
+		t.Fatalf("FL1 rows = %d\n%s", len(fl1.Rows), fl1.Render())
+	}
+	lossless := floatCell(t, fl1.Rows[0][3])
+	at20 := floatCell(t, fl1.Rows[3][3])
+	bound := 2 * lossless
+	if bound < 0.02 {
+		bound = 0.02
+	}
+	if at20 > bound {
+		t.Fatalf("FL1: MAE at 20%% loss %v exceeds bound %v\n%s", at20, bound, fl1.Render())
+	}
+	// Loss removes samples; it must never add them.
+	for i := 1; i < len(fl1.Rows); i++ {
+		if floatCell(t, fl1.Rows[i][1]) > floatCell(t, fl1.Rows[0][1]) {
+			t.Fatalf("FL1: samples grew under loss\n%s", fl1.Render())
+		}
+	}
+
+	fl2, err := FleetSizeSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl2.Rows) != 4 {
+		t.Fatalf("FL2 rows = %d\n%s", len(fl2.Rows), fl2.Render())
+	}
+	// Fixed per-mote budget: merged sample count must grow with fleet
+	// size, and the biggest fleet must estimate at least as well as the
+	// single mote (modulo a small noise allowance).
+	if floatCell(t, fl2.Rows[3][1]) <= floatCell(t, fl2.Rows[0][1]) {
+		t.Fatalf("FL2: samples did not grow with fleet size\n%s", fl2.Render())
+	}
+	solo, octet := floatCell(t, fl2.Rows[0][2]), floatCell(t, fl2.Rows[3][2])
+	if octet > solo+0.01 {
+		t.Fatalf("FL2: MAE worsened with fleet size: %v -> %v\n%s", solo, octet, fl2.Render())
 	}
 }

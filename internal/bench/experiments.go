@@ -45,6 +45,8 @@ func Experiments() []Experiment {
 		{"a2", "Ablation 2: static predictor policy", AblationPredictor},
 		{"a3", "Ablation 3: compare fusion and loop rotation", AblationOptimizations},
 		{"a4", "Ablation 4: dynamic prediction vs code placement", AblationDynamicPredictor},
+		{"fl1", "Fleet 1: estimation error vs packet loss", FleetLossSweep},
+		{"fl2", "Fleet 2: estimation error vs fleet size", FleetSizeSweep},
 	}
 }
 

@@ -1,0 +1,174 @@
+// Package fleet simulates a deployed sensor network running a Code
+// Tomography measurement campaign: N motes execute the same compiled
+// program under heterogeneous workloads and unsynchronized clocks, batch
+// their TRACE logs into radio packets, and upload them over a lossy link
+// to a base station that reassembles the per-mote streams and runs
+// streaming estimation over the merged fleet samples.
+//
+// Everything here is deterministic for a fixed seed: motes simulate
+// independently (pure per-mote state, per-mote derived RNGs), results are
+// merged in mote-ID order, and the concurrency knobs (worker pool size,
+// GOMAXPROCS) change only wall time, never results.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"codetomo/internal/isa"
+	"codetomo/internal/mote"
+	"codetomo/internal/stats"
+	"codetomo/internal/trace"
+	"codetomo/internal/workload"
+)
+
+// MoteSpec describes one mote of the deployment.
+type MoteSpec struct {
+	// ID is the radio identity stamped into uplink packets.
+	ID uint16
+	// Workload names the input regime this mote observes (workload.Named).
+	Workload string
+	// Seed drives this mote's sensor and entropy streams.
+	Seed int64
+	// ClockOffsetTicks skews this mote's timer, modeling unsynchronized
+	// clocks across the deployment.
+	ClockOffsetTicks uint64
+}
+
+// SimConfig configures a deployment simulation.
+type SimConfig struct {
+	// Prog is the compiled (instrumented) program every mote runs.
+	Prog []isa.Instr
+	// Mote is the base machine configuration. Sensor, Entropy, and
+	// ClockOffsetTicks are overridden per mote from its spec. The
+	// Predictor must be stateless: a TrainablePredictor carries mutable
+	// per-branch state that cannot be shared across concurrent motes.
+	Mote mote.Config
+	// MaxCycles bounds each mote's run.
+	MaxCycles uint64
+	// Workers bounds how many motes simulate concurrently (default 4).
+	Workers int
+	// Link is the radio channel every mote uploads through.
+	Link LinkConfig
+}
+
+// MoteUpload is what the base station holds for one mote after its upload:
+// the packets that survived the link, plus ground truth kept on the side
+// for evaluation (a real deployment would not have it).
+type MoteUpload struct {
+	Spec MoteSpec
+	// Packets are the link's deliveries, in arrival order.
+	Packets []trace.Packet
+	// Link counts what happened on the channel.
+	Link LinkStats
+	// EventsLogged is the mote-side trace length before packetization.
+	EventsLogged int
+	// BranchStats is the simulator's ground truth for this mote.
+	BranchStats map[int32]*mote.BranchStat
+	// Stats are the mote's architectural counters.
+	Stats mote.Stats
+}
+
+// Simulate runs every mote of the deployment on a bounded worker pool and
+// returns their uploads in spec order. The result is independent of
+// Workers and GOMAXPROCS: each mote's simulation and link are pure
+// functions of its spec and the configs.
+func Simulate(cfg SimConfig, specs []MoteSpec) ([]MoteUpload, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: no motes")
+	}
+	if _, ok := cfg.Mote.Predictor.(mote.TrainablePredictor); ok {
+		return nil, fmt.Errorf("fleet: predictor %q is stateful (TrainablePredictor); fleet motes run concurrently and cannot share trained state", cfg.Mote.Predictor.Name())
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+
+	uploads := make([]MoteUpload, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec MoteSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			uploads[i], errs[i] = runMote(cfg, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mote %d: %w", specs[i].ID, err)
+		}
+	}
+	return uploads, nil
+}
+
+// runMote simulates one mote and pushes its trace through the link. It is
+// a pure function of (cfg, spec) — the determinism of the whole fleet
+// rests on that.
+func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
+	sensor, ok := workload.Named(spec.Workload, stats.NewRNG(spec.Seed))
+	if !ok {
+		return MoteUpload{}, fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	mc := cfg.Mote
+	mc.Sensor = sensor
+	mc.Entropy = workload.NewEntropy(stats.NewRNG(spec.Seed + 7919))
+	mc.ClockOffsetTicks = spec.ClockOffsetTicks
+	m := mote.New(cfg.Prog, mc)
+	if err := m.Run(cfg.MaxCycles); err != nil {
+		return MoteUpload{}, err
+	}
+
+	events := m.Trace()
+	pkts := trace.Packetize(spec.ID, events, cfg.Link.EventsPerPacket)
+	// The channel RNG derives from the link seed and the mote identity so
+	// each mote sees an independent but reproducible channel.
+	delivered, ls := cfg.Link.Transmit(pkts, stats.NewRNG(cfg.Link.Seed+int64(spec.ID)*6151+1))
+	return MoteUpload{
+		Spec:         spec,
+		Packets:      delivered,
+		Link:         ls,
+		EventsLogged: len(events),
+		BranchStats:  m.BranchStats(),
+		Stats:        m.Stats(),
+	}, nil
+}
+
+// Reassemble runs one mote's delivered packets through the loss-tolerant
+// reassembler and returns the surviving invocation intervals with the
+// uplink accounting.
+func Reassemble(up MoteUpload) ([]trace.Interval, trace.UplinkStats, error) {
+	r := trace.NewReassembler(up.Spec.ID)
+	for _, p := range up.Packets {
+		if err := r.Add(p); err != nil {
+			return nil, trace.UplinkStats{}, fmt.Errorf("fleet: mote %d: %w", up.Spec.ID, err)
+		}
+	}
+	ivs, st := r.Recover()
+	return ivs, st, nil
+}
+
+// MergeBranchStats sums per-branch ground-truth outcome counts across the
+// fleet (keyed by branch address; every mote runs the same binary, so
+// addresses line up). The result is the fleet oracle.
+func MergeBranchStats(uploads []MoteUpload) map[int32]*mote.BranchStat {
+	merged := make(map[int32]*mote.BranchStat)
+	for _, up := range uploads {
+		for pc, st := range up.BranchStats {
+			m := merged[pc]
+			if m == nil {
+				m = &mote.BranchStat{}
+				merged[pc] = m
+			}
+			m.Taken += st.Taken
+			m.NotTaken += st.NotTaken
+			m.Mispred += st.Mispred
+		}
+	}
+	return merged
+}

@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"codetomo/internal/compile"
+	"codetomo/internal/markov"
+	"codetomo/internal/mote"
+	"codetomo/internal/stats"
+	"codetomo/internal/tomography"
+	"codetomo/internal/trace"
+)
+
+const testProgram = `
+func work(v int) int {
+	var r int;
+	r = 0;
+	while (v > 100) {
+		v = v - 100;
+		r = r + 1;
+	}
+	if (v > 50) {
+		r = r + 10;
+	}
+	return r;
+}
+
+func main() {
+	var i int;
+	var acc int;
+	acc = 0;
+	for (i = 0; i < 150; i = i + 1) {
+		acc = acc + work(sense());
+	}
+	debug(acc);
+}`
+
+func buildFleet(t testing.TB) SimConfig {
+	t.Helper()
+	out, err := compile.Build(testProgram, compile.Options{Instrument: compile.ModeTimestamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SimConfig{
+		Prog:      out.Code,
+		Mote:      mote.DefaultConfig(),
+		MaxCycles: 100_000_000,
+		Workers:   3,
+		Link:      LinkConfig{Seed: 99},
+	}
+}
+
+func fleetSpecs(n int) []MoteSpec {
+	specs := make([]MoteSpec, n)
+	names := []string{"gaussian", "uniform", "bursty"}
+	for i := range specs {
+		specs[i] = MoteSpec{
+			ID:               uint16(i),
+			Workload:         names[i%len(names)],
+			Seed:             100 + int64(i)*7,
+			ClockOffsetTicks: uint64(i) * 100_000,
+		}
+	}
+	return specs
+}
+
+func TestSimulateLossless(t *testing.T) {
+	cfg := buildFleet(t)
+	uploads, err := Simulate(cfg, fleetSpecs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uploads) != 3 {
+		t.Fatalf("got %d uploads", len(uploads))
+	}
+	for i, up := range uploads {
+		if up.Spec.ID != uint16(i) {
+			t.Fatalf("upload %d has mote ID %d: order not preserved", i, up.Spec.ID)
+		}
+		if up.EventsLogged == 0 || len(up.Packets) == 0 {
+			t.Fatalf("mote %d logged nothing", i)
+		}
+		if up.Link.Dropped != 0 || up.Link.Duplicated != 0 {
+			t.Fatalf("lossless link mangled mote %d: %+v", i, up.Link)
+		}
+		ivs, st, err := Reassemble(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.InvocationsDiscarded != 0 || len(ivs) == 0 {
+			t.Fatalf("mote %d: %d intervals, %d discarded", i, len(ivs), st.InvocationsDiscarded)
+		}
+		// Clock skew shifts timestamps, not durations: the first interval
+		// must start at or after the mote's offset.
+		if up.Spec.ClockOffsetTicks > 0 && ivs[0].EnterTick < up.Spec.ClockOffsetTicks {
+			t.Fatalf("mote %d: interval starts at %d, before clock offset %d", i, ivs[0].EnterTick, up.Spec.ClockOffsetTicks)
+		}
+	}
+	// Heterogeneous workloads must actually produce different streams.
+	if uploads[0].EventsLogged == uploads[1].EventsLogged &&
+		uploads[0].Stats.Cycles == uploads[1].Stats.Cycles {
+		t.Fatal("motes 0 and 1 look identical despite different workloads")
+	}
+}
+
+// The fleet's core determinism contract: identical config and specs give
+// bit-for-bit identical uploads regardless of worker count.
+func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
+	cfg := buildFleet(t)
+	cfg.Link.DropProb, cfg.Link.DupProb, cfg.Link.ReorderProb = 0.2, 0.1, 0.1
+	specs := fleetSpecs(4)
+
+	var runs [][]MoteUpload
+	for _, workers := range []int{1, 4} {
+		c := cfg
+		c.Workers = workers
+		ups, err := Simulate(c, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, ups)
+	}
+	for i := range runs[0] {
+		a, b := runs[0][i], runs[1][i]
+		if a.Link != b.Link || a.EventsLogged != b.EventsLogged {
+			t.Fatalf("mote %d differs across worker counts: %+v vs %+v", i, a.Link, b.Link)
+		}
+		if !reflect.DeepEqual(a.Packets, b.Packets) {
+			t.Fatalf("mote %d delivered different packet streams", i)
+		}
+		if !reflect.DeepEqual(a.BranchStats, b.BranchStats) {
+			t.Fatalf("mote %d branch stats differ", i)
+		}
+	}
+}
+
+func TestSimulateRejectsStatefulPredictor(t *testing.T) {
+	cfg := buildFleet(t)
+	cfg.Mote.Predictor = mote.NewBimodal(6)
+	if _, err := Simulate(cfg, fleetSpecs(2)); err == nil {
+		t.Fatal("stateful predictor accepted")
+	}
+}
+
+func TestSimulateRejectsUnknownWorkload(t *testing.T) {
+	cfg := buildFleet(t)
+	specs := fleetSpecs(2)
+	specs[1].Workload = "nonesuch"
+	if _, err := Simulate(cfg, specs); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTransmitLossyDeterministic(t *testing.T) {
+	events, _ := syntheticEvents(50)
+	pkts := trace.Packetize(1, events, 4)
+	lc := LinkConfig{DropProb: 0.3, DupProb: 0.2, ReorderProb: 0.2}
+
+	out1, st1 := lc.Transmit(pkts, stats.NewRNG(5))
+	out2, st2 := lc.Transmit(pkts, stats.NewRNG(5))
+	if st1 != st2 || !reflect.DeepEqual(out1, out2) {
+		t.Fatal("same seed produced different channels")
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 {
+		t.Fatalf("channel did nothing: %+v", st1)
+	}
+	if st1.Sent != len(pkts) {
+		t.Fatalf("Sent = %d, want %d", st1.Sent, len(pkts))
+	}
+	if len(out1) != st1.Sent-st1.Dropped+st1.Duplicated {
+		t.Fatalf("accounting broken: %d delivered, %+v", len(out1), st1)
+	}
+
+	// A perfect channel is the identity.
+	out3, st3 := LinkConfig{}.Transmit(pkts, stats.NewRNG(5))
+	if !reflect.DeepEqual(out3, pkts) || st3.Dropped+st3.Duplicated+st3.Reordered != 0 {
+		t.Fatal("perfect channel altered the stream")
+	}
+}
+
+func TestLinkConfigValidate(t *testing.T) {
+	bad := []LinkConfig{
+		{DropProb: -0.1},
+		{DupProb: 1.5},
+		{ReorderProb: 2},
+		{EventsPerPacket: -1},
+	}
+	for i, lc := range bad {
+		if lc.Validate() == nil {
+			t.Errorf("case %d: invalid link config accepted: %+v", i, lc)
+		}
+	}
+	if err := (LinkConfig{DropProb: 0.5, EventsPerPacket: 16}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMergeBranchStats(t *testing.T) {
+	cfg := buildFleet(t)
+	uploads, err := Simulate(cfg, fleetSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeBranchStats(uploads)
+	if len(merged) == 0 {
+		t.Fatal("no branch stats merged")
+	}
+	for pc, st := range merged {
+		var taken, notTaken uint64
+		for _, up := range uploads {
+			if s := up.BranchStats[pc]; s != nil {
+				taken += s.Taken
+				notTaken += s.NotTaken
+			}
+		}
+		if st.Taken != taken || st.NotTaken != notTaken {
+			t.Fatalf("pc %d: merged %+v, want taken=%d notTaken=%d", pc, st, taken, notTaken)
+		}
+	}
+}
+
+func TestBatchStreams(t *testing.T) {
+	perMote := []map[int][]float64{
+		{0: {1, 2, 3, 4, 5}, 1: {10}},
+		{0: {6, 7, 8}},
+	}
+	rounds := BatchStreams(perMote, 2)
+	// Proc 0: mote 0 contributes {1,2,3},{4,5}; mote 1 contributes {6,7},{8}.
+	want0 := [][]float64{{1, 2, 3, 6, 7}, {4, 5, 8}}
+	if !reflect.DeepEqual(rounds[0], want0) {
+		t.Fatalf("proc 0 rounds = %v, want %v", rounds[0], want0)
+	}
+	// Proc 1 has one sample: all of it lands in round 0.
+	if !reflect.DeepEqual(rounds[1][0], []float64{10}) || len(rounds[1][1]) != 0 {
+		t.Fatalf("proc 1 rounds = %v", rounds[1])
+	}
+	// Total samples are conserved.
+	total := 0
+	for _, rs := range rounds {
+		for _, r := range rs {
+			total += len(r)
+		}
+	}
+	if total != 9 {
+		t.Fatalf("batching lost samples: %d of 9", total)
+	}
+}
+
+// TestEstimateStreams drives the full fleet path — simulate, uplink,
+// reassemble, batch, estimate in parallel — and checks the outcome is
+// well-formed and reproducible.
+func TestEstimateStreams(t *testing.T) {
+	out, err := compile.Build(testProgram, compile.Options{Instrument: compile.ModeTimestamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := buildFleet(t)
+	cfg.Prog = out.Code
+	uploads, err := Simulate(cfg, fleetSpecs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := out.Meta.ProcByName["work"]
+	perMote := make([]map[int][]float64, len(uploads))
+	for i, up := range uploads {
+		ivs, _, err := Reassemble(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byProc := trace.ExclusiveByProc(ivs)
+		perMote[i] = map[int][]float64{
+			pm.Index: trace.DurationsCycles(byProc[pm.Index], 8),
+		}
+	}
+	rounds := BatchStreams(perMote, 4)
+	model, err := tomography.NewModel(out, "work", mote.StaticNotTaken{}, markov.DefaultEnumerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []ProcStream{{Name: "work", Model: model, Batches: rounds[pm.Index]}}
+	est := tomography.EM{Config: tomography.EMConfig{KernelHalfWidth: 8}}
+
+	o1, err := EstimateStreams(streams, est, 1e-3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != 1 || o1[0].Probs == nil {
+		t.Fatalf("no outcome: %+v", o1)
+	}
+	total := 0
+	for _, b := range rounds[pm.Index] {
+		total += len(b)
+	}
+	if o1[0].SampleCount != total {
+		t.Fatalf("SampleCount = %d, want %d", o1[0].SampleCount, total)
+	}
+	if o1[0].Rounds < 1 || o1[0].Iterations < 1 {
+		t.Fatalf("no estimation effort recorded: %+v", o1[0])
+	}
+	o2, err := EstimateStreams(streams, est, 1e-3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("streaming estimation is not reproducible")
+	}
+}
+
+// syntheticEvents builds a well-nested single-proc log for link tests.
+func syntheticEvents(n int) ([]mote.TraceEvent, int) {
+	var events []mote.TraceEvent
+	tick := uint64(0)
+	for i := 0; i < n; i++ {
+		tick += 2
+		events = append(events, mote.TraceEvent{ID: trace.EnterID(0), Tick: tick})
+		tick += 5
+		events = append(events, mote.TraceEvent{ID: trace.ExitID(0), Tick: tick})
+	}
+	return events, n
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+
+	"codetomo/internal/stats"
+	"codetomo/internal/trace"
+)
+
+// LinkConfig models the radio channel between a mote and the base
+// station. Each packet is independently dropped, duplicated, or swapped
+// with its successor; all three are Bernoulli draws from a seeded RNG, so
+// a given (seed, packet stream) pair always produces the same channel
+// behaviour.
+type LinkConfig struct {
+	// DropProb is the per-packet loss probability in [0, 1].
+	DropProb float64
+	// DupProb is the per-packet duplication probability in [0, 1].
+	DupProb float64
+	// ReorderProb is the per-packet probability of being swapped with the
+	// next surviving packet, in [0, 1].
+	ReorderProb float64
+	// EventsPerPacket is the packetization batch size (0 = default).
+	EventsPerPacket int
+	// Seed drives the channel RNG.
+	Seed int64
+}
+
+// Validate rejects probabilities outside [0, 1].
+func (lc LinkConfig) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("fleet: link %s = %v, must be in [0, 1]", name, p)
+		}
+		return nil
+	}
+	if err := check("DropProb", lc.DropProb); err != nil {
+		return err
+	}
+	if err := check("DupProb", lc.DupProb); err != nil {
+		return err
+	}
+	if err := check("ReorderProb", lc.ReorderProb); err != nil {
+		return err
+	}
+	if lc.EventsPerPacket < 0 {
+		return fmt.Errorf("fleet: link EventsPerPacket = %d, must be >= 0", lc.EventsPerPacket)
+	}
+	return nil
+}
+
+// LinkStats counts what the channel did to one mote's upload.
+type LinkStats struct {
+	Sent       int
+	Dropped    int
+	Duplicated int
+	Reordered  int
+}
+
+// Transmit pushes a packet stream through the channel: drops first, then
+// duplication, then adjacent swaps among the survivors. The draws happen
+// in a fixed order per packet so the outcome is a deterministic function
+// of the RNG seed and the stream.
+func (lc LinkConfig) Transmit(pkts []trace.Packet, rng *stats.RNG) ([]trace.Packet, LinkStats) {
+	st := LinkStats{Sent: len(pkts)}
+	out := make([]trace.Packet, 0, len(pkts))
+	for _, p := range pkts {
+		if rng.Bernoulli(lc.DropProb) {
+			st.Dropped++
+			continue
+		}
+		out = append(out, p)
+		if rng.Bernoulli(lc.DupProb) {
+			st.Duplicated++
+			out = append(out, p)
+		}
+	}
+	for i := 0; i+1 < len(out); i++ {
+		if rng.Bernoulli(lc.ReorderProb) {
+			out[i], out[i+1] = out[i+1], out[i]
+			st.Reordered++
+		}
+	}
+	if len(out) == 0 {
+		return nil, st
+	}
+	return out, st
+}

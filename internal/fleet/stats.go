@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"codetomo/internal/report"
+	"codetomo/internal/trace"
+)
+
+// Stats is the fleet run's observability record: what the radios did, what
+// the base station recovered, and what estimation cost. Wall times are the
+// only fields that vary between identically-seeded runs.
+type Stats struct {
+	// Motes is the deployment size.
+	Motes int
+	// Link sums the channel-side accounting over all motes.
+	Link LinkStats
+	// Uplink sums the base-station-side accounting over all motes.
+	Uplink trace.UplinkStats
+	// EventsLogged is the total mote-side trace length before the radio.
+	EventsLogged int
+	// SamplesPerProc counts the duration samples that reached each
+	// procedure's estimator.
+	SamplesPerProc map[string]int
+	// Rounds and Iterations sum streaming-estimation effort over all
+	// procedures (Iterations is EM-only).
+	Rounds     int
+	Iterations int
+	// ConvergedProcs counts procedures whose streams converged early, out
+	// of EstimatedProcs.
+	ConvergedProcs int
+	EstimatedProcs int
+	// Per-stage wall clock.
+	SimWall      time.Duration
+	UplinkWall   time.Duration
+	EstimateWall time.Duration
+}
+
+// Tables renders the observability record for terminal reports.
+func (s Stats) Tables() []*report.Table {
+	uplink := report.KV("Fleet uplink",
+		[2]string{"motes", report.I(s.Motes)},
+		[2]string{"events logged", report.I(s.EventsLogged)},
+		[2]string{"packets sent", report.I(s.Link.Sent)},
+		[2]string{"packets dropped", report.I(s.Link.Dropped)},
+		[2]string{"packets duplicated", report.I(s.Link.Duplicated)},
+		[2]string{"packets reordered", report.I(s.Link.Reordered)},
+		[2]string{"packets delivered", report.I(s.Uplink.PacketsDelivered)},
+		[2]string{"packets lost (observed)", report.I(s.Uplink.PacketsLost)},
+		[2]string{"events delivered", report.I(s.Uplink.EventsDelivered)},
+		[2]string{"invocations recovered", report.I(s.Uplink.InvocationsRecovered)},
+		[2]string{"invocations discarded", report.I(s.Uplink.InvocationsDiscarded)},
+	)
+	est := report.KV("Fleet estimation",
+		[2]string{"procedures estimated", report.I(s.EstimatedProcs)},
+		[2]string{"procedures converged early", report.I(s.ConvergedProcs)},
+		[2]string{"estimation rounds", report.I(s.Rounds)},
+		[2]string{"EM iterations", report.I(s.Iterations)},
+		[2]string{"simulate wall", s.SimWall.String()},
+		[2]string{"uplink wall", s.UplinkWall.String()},
+		[2]string{"estimate wall", s.EstimateWall.String()},
+	)
+	samples := &report.Table{Title: "Fleet samples per procedure", Header: []string{"proc", "samples"}}
+	names := make([]string, 0, len(s.SamplesPerProc))
+	for name := range s.SamplesPerProc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		samples.AddRow(name, report.I(s.SamplesPerProc[name]))
+	}
+	return []*report.Table{uplink, est, samples}
+}

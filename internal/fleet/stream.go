@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"codetomo/internal/markov"
+	"codetomo/internal/tomography"
+)
+
+// BatchStreams turns per-mote, per-procedure sample sets into uplink
+// rounds: each mote's stream is cut into `batches` slices, and round b is
+// the concatenation of every mote's slice b in mote order. This models the
+// base station receiving one upload round from the whole fleet at a time,
+// and is deterministic for a fixed mote order.
+func BatchStreams(perMote []map[int][]float64, batches int) map[int][][]float64 {
+	if batches <= 0 {
+		batches = 1
+	}
+	out := make(map[int][][]float64)
+	procs := map[int]bool{}
+	for _, m := range perMote {
+		for p := range m {
+			procs[p] = true
+		}
+	}
+	for p := range procs {
+		rounds := make([][]float64, batches)
+		for _, m := range perMote {
+			s := m[p]
+			if len(s) == 0 {
+				continue
+			}
+			chunk := (len(s) + batches - 1) / batches
+			for b := 0; b < batches; b++ {
+				lo := b * chunk
+				if lo >= len(s) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(s) {
+					hi = len(s)
+				}
+				rounds[b] = append(rounds[b], s[lo:hi]...)
+			}
+		}
+		out[p] = rounds
+	}
+	return out
+}
+
+// ProcStream is one procedure's model plus its batched fleet samples,
+// ready for streaming estimation.
+type ProcStream struct {
+	Name    string
+	Model   *tomography.Model
+	Batches [][]float64
+}
+
+// ProcOutcome is the streaming-estimation result for one procedure.
+type ProcOutcome struct {
+	Name  string
+	Probs markov.EdgeProbs
+	// Rounds is how many re-estimations ran before convergence stopped
+	// them (or the stream ran out).
+	Rounds int
+	// Iterations is the total EM iterations across rounds (0 for non-EM
+	// estimators).
+	Iterations int
+	// SampleCount is the number of duration samples absorbed.
+	SampleCount int
+	// Converged reports the estimate stopped moving before the stream
+	// ended.
+	Converged bool
+}
+
+// EstimateStreams runs streaming estimation for every procedure in
+// parallel — one goroutine per procedure, each a pure function of its
+// stream — and returns outcomes in input order, so the result is
+// independent of scheduling.
+func EstimateStreams(streams []ProcStream, est tomography.Estimator, tol float64, patience int) ([]ProcOutcome, error) {
+	outcomes := make([]ProcOutcome, len(streams))
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s ProcStream) {
+			defer wg.Done()
+			// Incremental handles the convergence-based early stop: once
+			// the estimate settles, later batches are absorbed into the
+			// sample accounting without re-estimating.
+			inc := tomography.NewIncremental(s.Model, est, tol, patience)
+			for _, batch := range s.Batches {
+				if _, err := inc.Observe(batch); err != nil {
+					errs[i] = fmt.Errorf("fleet: estimate %s: %w", s.Name, err)
+					return
+				}
+			}
+			outcomes[i] = ProcOutcome{
+				Name:        s.Name,
+				Probs:       inc.Probs(),
+				Rounds:      inc.Rounds(),
+				Iterations:  inc.Iterations(),
+				SampleCount: inc.SampleCount(),
+				Converged:   inc.Converged(),
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}

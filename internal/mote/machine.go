@@ -87,6 +87,11 @@ type Config struct {
 	Cost *isa.CostModel
 	// MaxTraceEvents bounds the trace buffer (0 = default 1<<22).
 	MaxTraceEvents int
+	// ClockOffsetTicks skews the timer's absolute value, modeling the
+	// unsynchronized clocks of a deployed fleet. Durations are tick
+	// differences, so the offset shifts logged timestamps without touching
+	// measured durations.
+	ClockOffsetTicks uint64
 	// Sensor and Entropy feed the ADC and RNG ports.
 	Sensor  SampleSource
 	Entropy SampleSource
@@ -181,8 +186,11 @@ func (m *Machine) LED() uint16 { return m.ledState }
 // Halted reports whether the program executed HALT.
 func (m *Machine) Halted() bool { return m.halted }
 
-// Tick returns the current timer tick (cycles / TickDiv) at full width.
-func (m *Machine) Tick() uint64 { return m.stats.Cycles / uint64(m.cfg.TickDiv) }
+// Tick returns the current timer tick (cycles / TickDiv plus the mote's
+// clock offset) at full width.
+func (m *Machine) Tick() uint64 {
+	return m.stats.Cycles/uint64(m.cfg.TickDiv) + m.cfg.ClockOffsetTicks
+}
 
 // Reg returns the value of register r (for tests and tools).
 func (m *Machine) Reg(r isa.Reg) uint16 { return m.regs[r] }

@@ -254,6 +254,35 @@ func TestTimerAndTrace(t *testing.T) {
 	}
 }
 
+func TestClockOffsetSkewsTimestampsNotDurations(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.TRACE, Imm: 1},
+		{Op: isa.NOP}, {Op: isa.NOP}, {Op: isa.NOP}, {Op: isa.NOP},
+		{Op: isa.NOP}, {Op: isa.NOP}, {Op: isa.NOP},
+		{Op: isa.TRACE, Imm: -1},
+		{Op: isa.HALT},
+	}
+	cfg := DefaultConfig()
+	cfg.TickDiv = 4
+	base := run(t, prog, cfg)
+	cfg.ClockOffsetTicks = 1_000_000
+	skewed := run(t, prog, cfg)
+
+	bt, st := base.Trace(), skewed.Trace()
+	if len(bt) != 2 || len(st) != 2 {
+		t.Fatalf("trace lengths %d, %d", len(bt), len(st))
+	}
+	for i := range bt {
+		if st[i].Tick != bt[i].Tick+1_000_000 {
+			t.Fatalf("event %d: skewed tick %d, want %d", i, st[i].Tick, bt[i].Tick+1_000_000)
+		}
+	}
+	// Durations — what the estimator consumes — are offset-invariant.
+	if st[1].Tick-st[0].Tick != bt[1].Tick-bt[0].Tick {
+		t.Fatal("clock offset changed a duration")
+	}
+}
+
 func TestProfileCounters(t *testing.T) {
 	prog := []isa.Instr{
 		{Op: isa.LDI, Rd: 1, Imm: 3},

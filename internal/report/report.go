@@ -121,3 +121,13 @@ func I[T ~int | ~int32 | ~int64 | ~uint32 | ~uint64 | ~uint](v T) string {
 
 // Pct formats a ratio as a percentage with 2 decimals.
 func Pct(v float64) string { return F(100*v, 2) + "%" }
+
+// KV builds a two-column metric/value table — the shape observability
+// summaries (fleet uplink accounting, estimator effort) render as.
+func KV(title string, pairs ...[2]string) *Table {
+	t := &Table{Title: title, Header: []string{"metric", "value"}}
+	for _, p := range pairs {
+		t.AddRow(p[0], p[1])
+	}
+	return t
+}

@@ -74,3 +74,16 @@ func TestIsNumeric(t *testing.T) {
 		}
 	}
 }
+
+func TestKV(t *testing.T) {
+	tab := KV("Uplink", [2]string{"packets sent", "12"}, [2]string{"packets lost", "3"})
+	if tab.Title != "Uplink" || len(tab.Rows) != 2 {
+		t.Fatalf("KV table shape wrong: %+v", tab)
+	}
+	out := tab.Render()
+	for _, want := range []string{"Uplink", "metric", "packets sent", "12", "packets lost", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered KV table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package tomography
+
+import (
+	"fmt"
+	"testing"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+)
+
+// BenchmarkEstimateEM is the baseline for the estimation hot loop: one
+// branch, quantized durations, default EM settings. The dedup pass makes
+// cost a function of distinct durations, not raw sample count, so the two
+// sizes should be close per op.
+func BenchmarkEstimateEM(b *testing.B) {
+	for _, n := range []int{500, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := twoArmModel(b, 40)
+			truth := markov.Uniform(m.Proc)
+			truth[[2]ir.BlockID{0, 1}] = 0.7
+			truth[[2]ir.BlockID{0, 2}] = 0.3
+			samples := sampleDurations(b, m, truth, n, 4, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := EstimateEM(m, samples, EMConfig{KernelHalfWidth: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIncrementalObserve(b *testing.B) {
+	m := twoArmModel(b, 40)
+	truth := markov.Uniform(m.Proc)
+	truth[[2]ir.BlockID{0, 1}] = 0.7
+	truth[[2]ir.BlockID{0, 2}] = 0.3
+	samples := sampleDurations(b, m, truth, 2000, 4, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inc := NewIncremental(m, EM{Config: EMConfig{KernelHalfWidth: 4}}, 1e-3, 2)
+		for j := 0; j < len(samples); j += 250 {
+			if _, err := inc.Observe(samples[j : j+250]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

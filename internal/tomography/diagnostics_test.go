@@ -10,7 +10,7 @@ import (
 
 // twoArmModel builds a single-branch procedure whose arms differ by the
 // given number of cycles.
-func twoArmModel(t *testing.T, armDelta float64) *Model {
+func twoArmModel(t testing.TB, armDelta float64) *Model {
 	t.Helper()
 	p := &cfg.Proc{
 		Name:  "arms",

@@ -1,0 +1,127 @@
+package tomography
+
+import (
+	"math"
+
+	"codetomo/internal/markov"
+)
+
+// Incremental adapts an Estimator to streaming use: duration samples
+// arrive in batches (radio uplinks from a deployed fleet) and the estimate
+// is refreshed after each batch. Convergence is declared once the estimate
+// stops moving for several consecutive batches, letting a base station
+// stop spending radio bandwidth on a procedure whose probabilities have
+// stabilized.
+type Incremental struct {
+	// Model is the path-enumeration model for one procedure.
+	Model *Model
+	// Est produces the estimate from the accumulated samples.
+	Est Estimator
+	// Tol is the convergence threshold on the largest per-edge probability
+	// change between successive rounds (default 1e-3).
+	Tol float64
+	// Patience is how many consecutive rounds must stay under Tol before
+	// the stream is declared converged (default 2).
+	Patience int
+
+	samples    []float64
+	probs      markov.EdgeProbs
+	rounds     int
+	calm       int
+	converged  bool
+	iterations int
+}
+
+// NewIncremental builds a streaming estimator for one procedure. tol <= 0
+// and patience <= 0 select the defaults.
+func NewIncremental(m *Model, est Estimator, tol float64, patience int) *Incremental {
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	if patience <= 0 {
+		patience = 2
+	}
+	return &Incremental{Model: m, Est: est, Tol: tol, Patience: patience}
+}
+
+// Observe folds one batch of duration samples into the stream and
+// re-estimates over everything accumulated so far. Once the stream has
+// converged further batches are absorbed without re-estimating, so callers
+// may keep feeding data cheaply.
+func (inc *Incremental) Observe(batch []float64) (markov.EdgeProbs, error) {
+	inc.samples = append(inc.samples, batch...)
+	if inc.converged {
+		return inc.probs, nil
+	}
+	if len(inc.samples) == 0 {
+		return nil, nil
+	}
+	inc.rounds++
+
+	var (
+		probs markov.EdgeProbs
+		err   error
+	)
+	// Go through EstimateEM directly when the estimator is EM so the
+	// per-round iteration counts surface in fleet observability.
+	if em, ok := inc.Est.(EM); ok {
+		var st EMStats
+		probs, st, err = EstimateEM(inc.Model, inc.samples, em.Config)
+		inc.iterations += st.Iterations
+	} else {
+		probs, err = inc.Est.Estimate(inc.Model, inc.samples)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if inc.probs != nil {
+		if MaxDelta(inc.probs, probs) < inc.Tol {
+			inc.calm++
+			if inc.calm >= inc.Patience {
+				inc.converged = true
+			}
+		} else {
+			inc.calm = 0
+		}
+	}
+	inc.probs = probs
+	return probs, nil
+}
+
+// Probs returns the latest estimate (nil before the first Observe).
+func (inc *Incremental) Probs() markov.EdgeProbs { return inc.probs }
+
+// Converged reports whether the estimate has stopped moving.
+func (inc *Incremental) Converged() bool { return inc.converged }
+
+// Rounds returns how many re-estimations have run.
+func (inc *Incremental) Rounds() int { return inc.rounds }
+
+// Iterations returns the total EM iterations spent across all rounds
+// (zero for non-EM estimators).
+func (inc *Incremental) Iterations() int { return inc.iterations }
+
+// SampleCount returns how many samples have been absorbed.
+func (inc *Incremental) SampleCount() int { return len(inc.samples) }
+
+// Samples exposes the accumulated sample stream (read-only; callers must
+// not mutate it).
+func (inc *Incremental) Samples() []float64 { return inc.samples }
+
+// MaxDelta returns the largest absolute per-edge difference between two
+// probability maps, treating missing edges as zero.
+func MaxDelta(a, b markov.EdgeProbs) float64 {
+	max := 0.0
+	for e, pa := range a {
+		if d := math.Abs(pa - b[e]); d > max {
+			max = d
+		}
+	}
+	for e, pb := range b {
+		if _, ok := a[e]; !ok && math.Abs(pb) > max {
+			max = math.Abs(pb)
+		}
+	}
+	return max
+}

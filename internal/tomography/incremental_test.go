@@ -1,0 +1,123 @@
+package tomography
+
+import (
+	"math"
+	"testing"
+
+	"codetomo/internal/ir"
+	"codetomo/internal/markov"
+)
+
+func TestIncrementalConvergesOnStream(t *testing.T) {
+	m := twoArmModel(t, 40)
+	truth := markov.Uniform(m.Proc)
+	truth[[2]ir.BlockID{0, 1}] = 0.7
+	truth[[2]ir.BlockID{0, 2}] = 0.3
+	samples := sampleDurations(t, m, truth, 4000, 1, 11)
+
+	inc := NewIncremental(m, EM{Config: EMConfig{KernelHalfWidth: 0.5}}, 5e-3, 2)
+	const batch = 200
+	var est markov.EdgeProbs
+	for i := 0; i < len(samples); i += batch {
+		var err error
+		est, err = inc.Observe(samples[i : i+batch])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !inc.Converged() {
+		t.Fatalf("stream did not converge after %d rounds", inc.Rounds())
+	}
+	// Once converged, later batches are absorbed without re-estimating.
+	if inc.Rounds() >= len(samples)/batch {
+		t.Fatalf("rounds = %d, expected early stop before %d", inc.Rounds(), len(samples)/batch)
+	}
+	if inc.SampleCount() != len(samples) {
+		t.Fatalf("SampleCount = %d, want %d", inc.SampleCount(), len(samples))
+	}
+	if inc.Iterations() <= 0 {
+		t.Fatal("EM iteration count not tracked")
+	}
+	if got := est[[2]ir.BlockID{0, 1}]; math.Abs(got-0.7) > 0.05 {
+		t.Fatalf("taken probability = %v, want ~0.7", got)
+	}
+}
+
+func TestIncrementalStopsReestimatingAfterConvergence(t *testing.T) {
+	m := twoArmModel(t, 40)
+	truth := markov.Uniform(m.Proc)
+	truth[[2]ir.BlockID{0, 1}] = 0.5
+	truth[[2]ir.BlockID{0, 2}] = 0.5
+	samples := sampleDurations(t, m, truth, 1000, 1, 3)
+
+	inc := NewIncremental(m, EM{Config: EMConfig{KernelHalfWidth: 0.5}}, 1e-2, 1)
+	for i := 0; i < len(samples); i += 100 {
+		if _, err := inc.Observe(samples[i : i+100]); err != nil {
+			t.Fatal(err)
+		}
+		if inc.Converged() {
+			break
+		}
+	}
+	if !inc.Converged() {
+		t.Skip("stream did not converge on this seed")
+	}
+	rounds, seen := inc.Rounds(), inc.SampleCount()
+	if _, err := inc.Observe(samples[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rounds() != rounds {
+		t.Fatalf("re-estimated after convergence: rounds %d -> %d", rounds, inc.Rounds())
+	}
+	if inc.SampleCount() != seen+100 {
+		t.Fatalf("post-convergence batch not absorbed: %d samples, want %d", inc.SampleCount(), seen+100)
+	}
+}
+
+func TestIncrementalEmptyStream(t *testing.T) {
+	m := twoArmModel(t, 40)
+	inc := NewIncremental(m, EM{}, 0, 0)
+	probs, err := inc.Observe(nil)
+	if err != nil || probs != nil {
+		t.Fatalf("empty stream: probs=%v err=%v", probs, err)
+	}
+	if inc.Rounds() != 0 || inc.Converged() {
+		t.Fatal("empty stream must not count as a round")
+	}
+}
+
+func TestIncrementalNonEMEstimator(t *testing.T) {
+	m := twoArmModel(t, 40)
+	truth := markov.Uniform(m.Proc)
+	samples := sampleDurations(t, m, truth, 500, 1, 7)
+	inc := NewIncremental(m, Moments{}, 1e-3, 2)
+	if _, err := inc.Observe(samples); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", inc.Rounds())
+	}
+	if inc.Iterations() != 0 {
+		t.Fatalf("moments estimator reported %d EM iterations", inc.Iterations())
+	}
+}
+
+func TestMaxDelta(t *testing.T) {
+	e1 := [2]ir.BlockID{0, 1}
+	e2 := [2]ir.BlockID{0, 2}
+	a := markov.EdgeProbs{e1: 0.7, e2: 0.3}
+	b := markov.EdgeProbs{e1: 0.6, e2: 0.4}
+	if d := MaxDelta(a, b); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("MaxDelta = %v, want 0.1", d)
+	}
+	// Missing edges count as zero on the other side, in both directions.
+	if d := MaxDelta(a, markov.EdgeProbs{e1: 0.7}); math.Abs(d-0.3) > 1e-12 {
+		t.Fatalf("MaxDelta missing-in-b = %v, want 0.3", d)
+	}
+	if d := MaxDelta(markov.EdgeProbs{e1: 0.7}, a); math.Abs(d-0.3) > 1e-12 {
+		t.Fatalf("MaxDelta missing-in-a = %v, want 0.3", d)
+	}
+	if d := MaxDelta(nil, nil); d != 0 {
+		t.Fatalf("MaxDelta(nil, nil) = %v", d)
+	}
+}

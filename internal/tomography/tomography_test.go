@@ -70,7 +70,7 @@ func trueProbs(m *Model, p01, p34 float64) markov.EdgeProbs {
 
 // sampleDurations draws n durations from the true chain, quantized to the
 // tick grid like the mote's timer does.
-func sampleDurations(t *testing.T, m *Model, truth markov.EdgeProbs, n int, tickDiv int, seed int64) []float64 {
+func sampleDurations(t testing.TB, m *Model, truth markov.EdgeProbs, n int, tickDiv int, seed int64) []float64 {
 	t.Helper()
 	chain, err := markov.New(m.Proc, truth)
 	if err != nil {

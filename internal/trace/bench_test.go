@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Baselines for future perf work on the measurement channel: the on-disk
+// codec, the radio packet codec, and stream reassembly.
+
+func BenchmarkWriteEvents(b *testing.B) {
+	events, _ := syntheticLog(5000)
+	b.SetBytes(int64(8 + len(events)*12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteEvents(io.Discard, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadEvents(b *testing.B) {
+	events, _ := syntheticLog(5000)
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadEvents(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketMarshal(b *testing.B) {
+	events, _ := syntheticLog(16)
+	p := Packet{MoteID: 1, Seq: 7, Events: events}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketUnmarshal(b *testing.B) {
+	events, _ := syntheticLog(16)
+	data, err := (&Packet{MoteID: 1, Seq: 7, Events: events}).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var p Packet
+		if err := p.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReassemble(b *testing.B) {
+	events, _ := syntheticLog(5000)
+	pkts := Packetize(1, events, DefaultEventsPerPacket)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReassembler(1)
+		for _, p := range pkts {
+			if err := r.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ivs, _ := r.Recover()
+		if len(ivs) == 0 {
+			b.Fatal("no intervals")
+		}
+	}
+}

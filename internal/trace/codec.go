@@ -67,5 +67,14 @@ func ReadEvents(r io.Reader) ([]mote.TraceEvent, error) {
 		}
 		events = append(events, ev)
 	}
+	// The header promised exactly n records; anything after them means a
+	// corrupt or concatenated upload, which must fail loudly rather than be
+	// silently truncated.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTraceFile, err)
+		}
+		return nil, fmt.Errorf("%w: trailing data after %d records", ErrBadTraceFile, n)
+	}
 	return events, nil
 }

@@ -55,11 +55,35 @@ func TestCodecRejectsGarbage(t *testing.T) {
 		[]byte("NOPE...."),
 		append([]byte("CTT1"), 0xFF, 0xFF, 0xFF, 0xFF), // absurd count
 		append([]byte("CTT1"), 2, 0, 0, 0, 1, 2),       // truncated records
+		append([]byte("CTT1"), 0, 0, 0, 0, 'x'),        // trailing garbage
 	}
 	for i, data := range cases {
 		if _, err := ReadEvents(bytes.NewReader(data)); !errors.Is(err, ErrBadTraceFile) {
 			t.Errorf("case %d: err = %v, want ErrBadTraceFile", i, err)
 		}
+	}
+}
+
+// A mote upload is exactly one log: concatenated or padded files are
+// corrupt and must be rejected, not silently truncated at the declared
+// record count.
+func TestCodecRejectsTrailingBytes(t *testing.T) {
+	events := []mote.TraceEvent{{ID: 0, Tick: 1}, {ID: 1, Tick: 9}}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	concat := append(append([]byte{}, buf.Bytes()...), buf.Bytes()...)
+	if _, err := ReadEvents(bytes.NewReader(concat)); !errors.Is(err, ErrBadTraceFile) {
+		t.Errorf("concatenated logs: err = %v, want ErrBadTraceFile", err)
+	}
+	padded := append(append([]byte{}, buf.Bytes()...), 0)
+	if _, err := ReadEvents(bytes.NewReader(padded)); !errors.Is(err, ErrBadTraceFile) {
+		t.Errorf("padded log: err = %v, want ErrBadTraceFile", err)
+	}
+	// The pristine log still decodes.
+	if got, err := ReadEvents(bytes.NewReader(buf.Bytes())); err != nil || len(got) != 2 {
+		t.Errorf("pristine log: got %d events, err = %v", len(got), err)
 	}
 }
 

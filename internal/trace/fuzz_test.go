@@ -13,6 +13,7 @@ func FuzzReadEvents(f *testing.F) {
 	var good bytes.Buffer
 	_ = WriteEvents(&good, nil)
 	f.Add(good.Bytes())
+	f.Add(append(append([]byte{}, good.Bytes()...), 'x')) // trailing garbage
 	f.Add([]byte("CTT1"))
 	f.Add([]byte("CTT1\x02\x00\x00\x00junk"))
 	f.Add([]byte{})
@@ -31,6 +32,70 @@ func FuzzReadEvents(f *testing.F) {
 		}
 		if len(again) != len(events) {
 			t.Fatalf("round trip changed length: %d vs %d", len(again), len(events))
+		}
+	})
+}
+
+// FuzzPacketDecode checks the packet decoder never panics on arbitrary
+// bytes, and that anything it accepts re-marshals to the identical frame
+// (the decoder is strict, so accepted input is exactly one packet).
+func FuzzPacketDecode(f *testing.F) {
+	good, _ := (&Packet{MoteID: 2, Seq: 9, Events: []mote.TraceEvent{{ID: 4, Tick: 77}}}).MarshalBinary()
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(append(append([]byte{}, good...), 0))
+	f.Add([]byte("CTP1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes:\n got %x\nwant %x", out, data)
+		}
+	})
+}
+
+// FuzzReassembler feeds arbitrary packet subsets (drops, duplicates,
+// reorderings encoded in the perm bytes) of a synthetic log through the
+// reassembler: it must never panic, never invent invocations, and keep
+// every recovered interval well-formed.
+func FuzzReassembler(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(3))
+	f.Add([]byte{3, 1, 1, 0}, uint8(2))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, perm []byte, perPacket uint8) {
+		events, _ := syntheticLog(12)
+		pkts := Packetize(5, events, int(perPacket%8))
+		lossless, err := Extract(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReassembler(5)
+		for _, b := range perm {
+			if len(pkts) == 0 {
+				break
+			}
+			if err := r.Add(pkts[int(b)%len(pkts)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ivs, st := r.Recover()
+		if len(ivs) > len(lossless) {
+			t.Fatalf("recovered %d intervals from %d lossless", len(ivs), len(lossless))
+		}
+		if st.InvocationsRecovered != len(ivs) {
+			t.Fatalf("stats disagree: %d vs %d", st.InvocationsRecovered, len(ivs))
+		}
+		for _, iv := range ivs {
+			if iv.ExitTick < iv.EnterTick || iv.ExclusiveTicks() > iv.GrossTicks() {
+				t.Fatalf("malformed interval %+v", iv)
+			}
 		}
 	})
 }

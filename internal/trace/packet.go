@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"codetomo/internal/mote"
+)
+
+// The radio uplink format, versioned alongside the on-disk trace format
+// ("CTT1"): a mote batches its TRACE events into sequence-numbered packets
+// ("CTP1") small enough for a low-power radio MTU and transmits them to the
+// base station over a lossy link. Packets are self-delimiting so the base
+// station can reassemble per-mote streams from whatever subset arrives:
+//
+//	magic "CTP1" (4) | mote id uint16 | seq uint32 | count uint16
+//	count × record, record = (id int32, tick uint64)
+//
+// All fields little-endian. Sequence numbers start at 0 and increase by 1
+// per packet, which is what makes gaps (lost packets) detectable.
+var packetMagic = [4]byte{'C', 'T', 'P', '1'}
+
+// ErrBadPacket is returned when decoding input that is not a trace packet.
+var ErrBadPacket = errors.New("trace: not a trace packet")
+
+const (
+	packetHeaderSize = 12 // magic + mote id + seq + count
+	packetRecordSize = 12 // id int32 + tick uint64
+
+	// MaxPacketEvents bounds a packet's payload; 85 records keep the wire
+	// size near a 1 KB radio frame.
+	MaxPacketEvents = 85
+
+	// DefaultEventsPerPacket is the batching used when the caller does not
+	// choose one: 32 records ≈ 396 B on the wire.
+	DefaultEventsPerPacket = 32
+)
+
+// Packet is one radio frame of trace events from one mote.
+type Packet struct {
+	MoteID uint16
+	Seq    uint32
+	Events []mote.TraceEvent
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if len(p.Events) > MaxPacketEvents {
+		return nil, fmt.Errorf("trace: packet payload %d exceeds %d events", len(p.Events), MaxPacketEvents)
+	}
+	out := make([]byte, packetHeaderSize+len(p.Events)*packetRecordSize)
+	copy(out, packetMagic[:])
+	binary.LittleEndian.PutUint16(out[4:], p.MoteID)
+	binary.LittleEndian.PutUint32(out[6:], p.Seq)
+	binary.LittleEndian.PutUint16(out[10:], uint16(len(p.Events)))
+	off := packetHeaderSize
+	for _, ev := range p.Events {
+		binary.LittleEndian.PutUint32(out[off:], uint32(ev.ID))
+		binary.LittleEndian.PutUint64(out[off+4:], ev.Tick)
+		off += packetRecordSize
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It is strict: the
+// buffer must hold exactly one packet, and trailing bytes are an error —
+// frames are length-delimited by the radio, so excess data means corruption.
+func (p *Packet) UnmarshalBinary(data []byte) error {
+	if len(data) < packetHeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadPacket, len(data))
+	}
+	if [4]byte(data[:4]) != packetMagic {
+		return fmt.Errorf("%w: magic %q", ErrBadPacket, data[:4])
+	}
+	count := int(binary.LittleEndian.Uint16(data[10:]))
+	if count > MaxPacketEvents {
+		return fmt.Errorf("%w: implausible event count %d", ErrBadPacket, count)
+	}
+	if want := packetHeaderSize + count*packetRecordSize; len(data) != want {
+		return fmt.Errorf("%w: %d bytes for %d records (want %d)", ErrBadPacket, len(data), count, want)
+	}
+	p.MoteID = binary.LittleEndian.Uint16(data[4:])
+	p.Seq = binary.LittleEndian.Uint32(data[6:])
+	p.Events = make([]mote.TraceEvent, count)
+	off := packetHeaderSize
+	for i := range p.Events {
+		p.Events[i].ID = int32(binary.LittleEndian.Uint32(data[off:]))
+		p.Events[i].Tick = binary.LittleEndian.Uint64(data[off+4:])
+		off += packetRecordSize
+	}
+	return nil
+}
+
+// Packetize batches an event log into sequence-numbered packets of at most
+// perPacket events each (DefaultEventsPerPacket when perPacket <= 0, capped
+// at MaxPacketEvents). An empty log produces no packets.
+func Packetize(moteID uint16, events []mote.TraceEvent, perPacket int) []Packet {
+	if perPacket <= 0 {
+		perPacket = DefaultEventsPerPacket
+	}
+	if perPacket > MaxPacketEvents {
+		perPacket = MaxPacketEvents
+	}
+	var out []Packet
+	for seq := uint32(0); len(events) > 0; seq++ {
+		n := perPacket
+		if n > len(events) {
+			n = len(events)
+		}
+		out = append(out, Packet{MoteID: moteID, Seq: seq, Events: events[:n:n]})
+		events = events[n:]
+	}
+	return out
+}
+
+// UplinkStats counts what one mote's uplink delivered and what the base
+// station could salvage from it.
+type UplinkStats struct {
+	// PacketsDelivered counts distinct packets received; PacketsDuplicate
+	// counts redundant copies discarded; PacketsLost counts sequence gaps
+	// below the highest sequence seen (tail losses are indistinguishable
+	// from the stream simply ending and are not counted).
+	PacketsDelivered, PacketsDuplicate, PacketsLost int
+	// EventsDelivered is the total payload of distinct packets.
+	EventsDelivered int
+	// InvocationsRecovered counts complete intervals reconstructed;
+	// InvocationsDiscarded counts invocations a lost packet truncated
+	// (an unmatched enter or exit, or a frame still open at a gap).
+	InvocationsRecovered, InvocationsDiscarded int
+}
+
+// Reassembler rebuilds one mote's event stream from sequence-numbered
+// packets that may arrive duplicated, reordered, or not at all.
+type Reassembler struct {
+	moteID   uint16
+	payloads map[uint32][]mote.TraceEvent
+	dups     int
+}
+
+// NewReassembler returns a reassembler for the given mote's stream.
+func NewReassembler(moteID uint16) *Reassembler {
+	return &Reassembler{moteID: moteID, payloads: make(map[uint32][]mote.TraceEvent)}
+}
+
+// Add accepts one received packet. Duplicates (same sequence number) are
+// counted and discarded; a packet from a different mote is an error.
+func (r *Reassembler) Add(p Packet) error {
+	if p.MoteID != r.moteID {
+		return fmt.Errorf("trace: packet from mote %d on mote %d's stream", p.MoteID, r.moteID)
+	}
+	if _, ok := r.payloads[p.Seq]; ok {
+		r.dups++
+		return nil
+	}
+	r.payloads[p.Seq] = p.Events
+	return nil
+}
+
+// Recover reconstructs invocation intervals from everything received so
+// far. Lost packets split the stream into contiguous segments; only the
+// invocations truncated by a gap (enter and exit on opposite sides of it)
+// are discarded — complete invocations inside every segment survive, so
+// estimation degrades with the loss rate instead of collapsing. Intervals
+// are returned in completion order; under loss their Depth is relative to
+// the enclosing segment (a lower bound on the true nesting depth).
+func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
+	st := UplinkStats{PacketsDelivered: len(r.payloads), PacketsDuplicate: r.dups}
+	if len(r.payloads) == 0 {
+		return nil, st
+	}
+	seqs := make([]uint32, 0, len(r.payloads))
+	for s := range r.payloads {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	st.PacketsLost = int(seqs[len(seqs)-1]) + 1 - len(seqs)
+
+	var out []Interval
+	var segment []mote.TraceEvent
+	flush := func() {
+		ivs, discarded := salvage(segment)
+		out = append(out, ivs...)
+		st.InvocationsDiscarded += discarded
+		segment = segment[:0]
+	}
+	for i, s := range seqs {
+		if i > 0 && s != seqs[i-1]+1 {
+			flush()
+		}
+		st.EventsDelivered += len(r.payloads[s])
+		segment = append(segment, r.payloads[s]...)
+	}
+	flush()
+	st.InvocationsRecovered = len(out)
+	return out, st
+}
+
+// salvage is the loss-tolerant version of Extract for one contiguous run of
+// events: a substring of a well-nested log. Unmatched exits at the front
+// (their enters were lost) and frames still open at the end (their exits
+// were lost) are discarded and counted; everything properly paired inside
+// the run is complete — contiguity guarantees no callee is missing — and is
+// emitted. Corrupt events (negative ids, time running backwards) discard
+// the enclosing frame rather than aborting the whole stream.
+func salvage(events []mote.TraceEvent) ([]Interval, int) {
+	type frame struct {
+		proc       int
+		enter      uint64
+		childTicks uint64
+	}
+	var stack []frame
+	var out []Interval
+	discarded := 0
+	for _, ev := range events {
+		if ev.ID < 0 {
+			discarded++
+			continue
+		}
+		proc := int(ev.ID / 2)
+		if ev.ID%2 == 0 {
+			stack = append(stack, frame{proc: proc, enter: ev.Tick})
+			continue
+		}
+		if len(stack) == 0 {
+			// Exit whose enter is on the other side of a gap.
+			discarded++
+			continue
+		}
+		// In a substring of a well-nested log the exit always matches the
+		// top of the stack; a mismatch means corruption, so resynchronize
+		// by popping (and discarding) frames until it does.
+		match := -1
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].proc == proc {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			discarded++
+			continue
+		}
+		discarded += len(stack) - 1 - match
+		top := stack[match]
+		stack = stack[:match]
+		if ev.Tick < top.enter {
+			discarded++ // clock ran backwards: corrupt pair
+			continue
+		}
+		iv := Interval{
+			ProcIndex:  top.proc,
+			EnterTick:  top.enter,
+			ExitTick:   ev.Tick,
+			ChildTicks: top.childTicks,
+			Depth:      len(stack),
+		}
+		out = append(out, iv)
+		if len(stack) > 0 {
+			stack[len(stack)-1].childTicks += iv.GrossTicks()
+		}
+	}
+	return out, discarded + len(stack)
+}

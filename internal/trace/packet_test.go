@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"codetomo/internal/mote"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{MoteID: 7, Seq: 42, Events: []mote.TraceEvent{
+		{ID: 0, Tick: 10}, {ID: 1, Tick: 25}, {ID: 4, Tick: 1 << 40},
+	}}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.MoteID != p.MoteID || q.Seq != p.Seq || len(q.Events) != len(p.Events) {
+		t.Fatalf("got %+v, want %+v", q, p)
+	}
+	for i := range p.Events {
+		if q.Events[i] != p.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, q.Events[i], p.Events[i])
+		}
+	}
+}
+
+func TestPacketRejectsGarbage(t *testing.T) {
+	good, _ := (&Packet{MoteID: 1, Seq: 0, Events: []mote.TraceEvent{{ID: 0, Tick: 1}}}).MarshalBinary()
+	cases := [][]byte{
+		nil,
+		[]byte("CTP"),
+		[]byte("NOPE........"),
+		append([]byte("CTP1"), 0, 0, 0, 0, 0, 0, 0xFF, 0xFF), // absurd count
+		good[:len(good)-1],                   // truncated record
+		append(append([]byte{}, good...), 0), // trailing byte
+	}
+	for i, data := range cases {
+		var p Packet
+		if err := p.UnmarshalBinary(data); !errors.Is(err, ErrBadPacket) {
+			t.Errorf("case %d: err = %v, want ErrBadPacket", i, err)
+		}
+	}
+}
+
+func TestPacketizeBoundaries(t *testing.T) {
+	events := make([]mote.TraceEvent, 10)
+	for i := range events {
+		events[i] = mote.TraceEvent{ID: int32(i % 4), Tick: uint64(i)}
+	}
+	pkts := Packetize(3, events, 4)
+	if len(pkts) != 3 {
+		t.Fatalf("got %d packets, want 3", len(pkts))
+	}
+	total := 0
+	for i, p := range pkts {
+		if p.MoteID != 3 || p.Seq != uint32(i) {
+			t.Fatalf("packet %d: mote %d seq %d", i, p.MoteID, p.Seq)
+		}
+		total += len(p.Events)
+	}
+	if total != len(events) {
+		t.Fatalf("packetize lost events: %d of %d", total, len(events))
+	}
+	if Packetize(0, nil, 4) != nil {
+		t.Fatal("empty log should produce no packets")
+	}
+}
+
+// syntheticLog builds a well-nested log: n depth-0 invocations of proc 0,
+// every third one calling proc 1. Returns the log and the per-proc
+// invocation counts.
+func syntheticLog(n int) ([]mote.TraceEvent, map[int]int) {
+	var events []mote.TraceEvent
+	tick := uint64(0)
+	next := func(id int32) {
+		tick += 3
+		events = append(events, mote.TraceEvent{ID: id, Tick: tick})
+	}
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		next(EnterID(0))
+		if i%3 == 0 {
+			next(EnterID(1))
+			next(ExitID(1))
+			counts[1]++
+		}
+		next(ExitID(0))
+		counts[0]++
+	}
+	return events, counts
+}
+
+// TestReassemblerLossSemantics is the loss-tolerance contract: for specific
+// drop/duplicate/reorder patterns, exactly the invocations a lost packet
+// truncates disappear and everything else survives.
+func TestReassemblerLossSemantics(t *testing.T) {
+	// A log with 9 proc-0 invocations (3 of which contain a proc-1 call) =
+	// 9*2 + 3*2 = 24 events → 8 packets of 3. Three events per packet makes
+	// packet borders fall inside invocations, so drops genuinely truncate.
+	events, counts := syntheticLog(9)
+	if len(events) != 24 {
+		t.Fatalf("synthetic log has %d events", len(events))
+	}
+	pkts := Packetize(1, events, 3)
+	if len(pkts) != 8 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+
+	cases := []struct {
+		name      string
+		deliver   []int // packet indices in arrival order (repeats = dup)
+		wantProc  map[int]int
+		wantLost  int // PacketsLost
+		wantDup   int
+		discardLo int // minimum InvocationsDiscarded
+	}{
+		{
+			name:     "lossless in order",
+			deliver:  []int{0, 1, 2, 3, 4, 5, 6, 7},
+			wantProc: counts,
+		},
+		{
+			name:     "reordered and duplicated",
+			deliver:  []int{1, 0, 3, 2, 5, 5, 4, 0, 7, 6},
+			wantProc: counts,
+			wantDup:  2,
+		},
+		{
+			// Packet 1 carries invocation 0's exit and all of invocation 1:
+			// dropping it truncates invocation 0 (its proc-1 callee, fully
+			// inside packet 0, must survive) and loses invocation 1
+			// outright; everything from packet 2 on is intact.
+			name:      "interior drop",
+			deliver:   []int{0, 2, 3, 4, 5, 6, 7},
+			wantLost:  1,
+			discardLo: 1,
+		},
+		{
+			name:      "two gaps",
+			deliver:   []int{0, 1, 3, 4, 6, 7},
+			wantLost:  2,
+			discardLo: 2,
+		},
+		{
+			name:     "tail drop",
+			deliver:  []int{0, 1, 2, 3, 4, 5, 6},
+			wantLost: 0, // tail loss is indistinguishable from stream end
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReassembler(1)
+			for _, i := range tc.deliver {
+				if err := r.Add(pkts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ivs, st := r.Recover()
+			got := map[int]int{}
+			for _, iv := range ivs {
+				got[iv.ProcIndex]++
+				if iv.ExitTick < iv.EnterTick {
+					t.Fatalf("inverted interval %+v", iv)
+				}
+			}
+			if tc.wantProc != nil {
+				for proc, want := range tc.wantProc {
+					if got[proc] != want {
+						t.Errorf("proc %d: recovered %d invocations, want %d", proc, got[proc], want)
+					}
+				}
+				if st.InvocationsDiscarded != 0 {
+					t.Errorf("discarded %d invocations, want 0", st.InvocationsDiscarded)
+				}
+			}
+			if st.PacketsLost != tc.wantLost {
+				t.Errorf("PacketsLost = %d, want %d", st.PacketsLost, tc.wantLost)
+			}
+			if st.PacketsDuplicate != tc.wantDup {
+				t.Errorf("PacketsDuplicate = %d, want %d", st.PacketsDuplicate, tc.wantDup)
+			}
+			if st.InvocationsDiscarded < tc.discardLo {
+				t.Errorf("InvocationsDiscarded = %d, want >= %d", st.InvocationsDiscarded, tc.discardLo)
+			}
+			if st.InvocationsRecovered != len(ivs) {
+				t.Errorf("InvocationsRecovered = %d, ivs = %d", st.InvocationsRecovered, len(ivs))
+			}
+			// Loss only removes invocations, never invents them, and the
+			// survivors' durations match the lossless reconstruction.
+			lossless, _ := Extract(events)
+			byKey := map[[2]uint64]Interval{}
+			for _, iv := range lossless {
+				byKey[[2]uint64{iv.EnterTick, iv.ExitTick}] = iv
+			}
+			for _, iv := range ivs {
+				ref, ok := byKey[[2]uint64{iv.EnterTick, iv.ExitTick}]
+				if !ok {
+					t.Fatalf("recovered interval %+v not in lossless set", iv)
+				}
+				if ref.ProcIndex != iv.ProcIndex || ref.ChildTicks != iv.ChildTicks {
+					t.Fatalf("recovered %+v differs from lossless %+v", iv, ref)
+				}
+			}
+		})
+	}
+}
+
+// A gap inside a nested region discards the enclosing invocation but keeps
+// complete callees on both sides of the gap.
+func TestReassemblerNestedGap(t *testing.T) {
+	// outer enter | inner1 enter, exit | inner2 enter, exit | outer exit
+	events := []mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1},
+		{ID: EnterID(1), Tick: 2}, {ID: ExitID(1), Tick: 3},
+		{ID: EnterID(1), Tick: 4}, {ID: ExitID(1), Tick: 5},
+		{ID: ExitID(0), Tick: 6},
+	}
+	pkts := Packetize(0, events, 2) // [outer+in1enter][in1exit+in2enter][in2exit+outerexit]
+	r := NewReassembler(0)
+	_ = r.Add(pkts[0])
+	_ = r.Add(pkts[2]) // drop the middle packet
+	ivs, st := r.Recover()
+	for _, iv := range ivs {
+		if iv.ProcIndex == 0 {
+			t.Fatalf("outer invocation should have been truncated: %+v", iv)
+		}
+	}
+	// Both inner invocations are split across the gap, so nothing survives
+	// intact, and the outer frame plus both halves are discarded.
+	if st.InvocationsDiscarded < 2 {
+		t.Fatalf("discarded = %d, want >= 2", st.InvocationsDiscarded)
+	}
+}
+
+func TestReassemblerRejectsForeignMote(t *testing.T) {
+	r := NewReassembler(1)
+	if err := r.Add(Packet{MoteID: 2}); err == nil {
+		t.Fatal("foreign mote accepted")
+	}
+}
+
+// The salvage path agrees with strict Extract on lossless streams.
+func TestSalvageMatchesExtract(t *testing.T) {
+	events, _ := syntheticLog(20)
+	want, err := Extract(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReassembler(9)
+	for _, p := range Packetize(9, events, 5) {
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, st := r.Recover()
+	if len(got) != len(want) || st.InvocationsDiscarded != 0 {
+		t.Fatalf("salvage: %d intervals (%d discarded), extract: %d", len(got), st.InvocationsDiscarded, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interval %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPacketWireFormatIsStable(t *testing.T) {
+	// The wire format is a contract with deployed motes: pin it.
+	p := Packet{MoteID: 0x0102, Seq: 0x03040506, Events: []mote.TraceEvent{{ID: 2, Tick: 0x0A}}}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'C', 'T', 'P', '1',
+		0x02, 0x01, // mote id LE
+		0x06, 0x05, 0x04, 0x03, // seq LE
+		0x01, 0x00, // count LE
+		0x02, 0x00, 0x00, 0x00, // id LE
+		0x0A, 0, 0, 0, 0, 0, 0, 0, // tick LE
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("wire bytes:\n got %x\nwant %x", data, want)
+	}
+}

@@ -1,0 +1,327 @@
+package codetomo
+
+import (
+	"fmt"
+	"time"
+
+	"codetomo/internal/compile"
+	"codetomo/internal/fleet"
+	"codetomo/internal/layout"
+	"codetomo/internal/markov"
+	"codetomo/internal/mote"
+	"codetomo/internal/profile"
+	"codetomo/internal/stats"
+	"codetomo/internal/tomography"
+	"codetomo/internal/trace"
+)
+
+// FleetConfig tunes a fleet pipeline run: the base pipeline knobs plus the
+// deployment shape, the radio channel, and the streaming-estimation
+// schedule. The zero value is usable — four motes on the base workload
+// over a perfect link.
+type FleetConfig struct {
+	Config
+
+	// Motes is the deployment size (default 4, max 65535).
+	Motes int
+	// Workloads assigns input regimes to motes round-robin; empty means
+	// every mote observes Config.Workload (through its own seed).
+	Workloads []string
+	// Workers bounds concurrent mote simulations (default 4). It affects
+	// wall time only, never results.
+	Workers int
+	// EventsPerPacket is the radio batching granularity (default 32, max
+	// trace.MaxPacketEvents).
+	EventsPerPacket int
+	// DropProb, DupProb, and ReorderProb describe the lossy uplink; all
+	// default to 0 (perfect channel).
+	DropProb, DupProb, ReorderProb float64
+	// Batches is the number of uplink rounds each mote's stream is split
+	// into for incremental re-estimation (default 8).
+	Batches int
+	// ConvergeTol and ConvergePatience control the streaming early stop:
+	// estimation halts once no branch probability moves more than
+	// ConvergeTol for ConvergePatience consecutive rounds (defaults 1e-3
+	// and 2).
+	ConvergeTol      float64
+	ConvergePatience int
+}
+
+// Validate rejects configurations RunFleet cannot honor, with the same
+// zero-selects-default convention as Config.Validate.
+func (c FleetConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Motes < 0 || c.Motes > 65535 {
+		return fmt.Errorf("codetomo: Motes = %d; must be in [1, 65535] (zero selects the default of 4)", c.Motes)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("codetomo: Workers = %d; must be positive (zero selects the default of 4)", c.Workers)
+	}
+	if c.EventsPerPacket < 0 || c.EventsPerPacket > trace.MaxPacketEvents {
+		return fmt.Errorf("codetomo: EventsPerPacket = %d; must be in [1, %d] (zero selects the default of %d)",
+			c.EventsPerPacket, trace.MaxPacketEvents, trace.DefaultEventsPerPacket)
+	}
+	link := fleet.LinkConfig{DropProb: c.DropProb, DupProb: c.DupProb, ReorderProb: c.ReorderProb}
+	if err := link.Validate(); err != nil {
+		return err
+	}
+	if c.Batches < 0 {
+		return fmt.Errorf("codetomo: Batches = %d; must be positive (zero selects the default of 8)", c.Batches)
+	}
+	if c.ConvergeTol < 0 {
+		return fmt.Errorf("codetomo: ConvergeTol = %v; must be positive (zero selects the default of 1e-3)", c.ConvergeTol)
+	}
+	if c.ConvergePatience < 0 {
+		return fmt.Errorf("codetomo: ConvergePatience = %d; must be positive (zero selects the default of 2)", c.ConvergePatience)
+	}
+	return nil
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Motes == 0 {
+		c.Motes = 4
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{c.Workload}
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.EventsPerPacket == 0 {
+		c.EventsPerPacket = trace.DefaultEventsPerPacket
+	}
+	if c.Batches == 0 {
+		c.Batches = 8
+	}
+	if c.ConvergeTol == 0 {
+		c.ConvergeTol = 1e-3
+	}
+	if c.ConvergePatience == 0 {
+		c.ConvergePatience = 2
+	}
+	return c
+}
+
+// FleetResult is the outcome of one fleet pipeline run.
+type FleetResult struct {
+	// Estimates holds per-procedure estimation results over the merged
+	// fleet samples.
+	Estimates []ProcEstimate
+	// Before and After are the uninstrumented runs under the original and
+	// the fleet-estimated layout (single-mote, base workload — the same
+	// measurement Run performs, so results are comparable).
+	Before, After RunStats
+	// Output is the optimized binary's verified debug output.
+	Output []uint16
+	// Fleet is the deployment's observability record.
+	Fleet fleet.Stats
+}
+
+// MispredictReduction mirrors Result.MispredictReduction.
+func (r *FleetResult) MispredictReduction() float64 {
+	b := r.Before.MispredictRate()
+	if b == 0 {
+		return 0
+	}
+	return (b - r.After.MispredictRate()) / b
+}
+
+// Speedup mirrors Result.Speedup.
+func (r *FleetResult) Speedup() float64 {
+	if r.After.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Before.Cycles) / float64(r.After.Cycles)
+}
+
+// Per-mote and per-subsystem seed derivations. Distinct odd constants keep
+// the derived streams disjoint; everything flows from cfg.Seed so a fleet
+// run is one number away from reproducible.
+const (
+	fleetMoteSeedStride = 104729 // per-mote sensor/entropy seeds
+	fleetOffsetSeed     = 7253   // clock skew RNG
+	fleetLinkSeed       = 104659 // radio channel RNG base
+)
+
+// fleetSpecs derives the deployment's mote specs from the config: workload
+// assignment round-robin, per-mote seeds, and random (but seeded) clock
+// offsets of up to ~1M ticks.
+func fleetSpecs(cfg FleetConfig) []fleet.MoteSpec {
+	offRNG := stats.NewRNG(cfg.Seed + fleetOffsetSeed)
+	specs := make([]fleet.MoteSpec, cfg.Motes)
+	for i := range specs {
+		specs[i] = fleet.MoteSpec{
+			ID:               uint16(i),
+			Workload:         cfg.Workloads[i%len(cfg.Workloads)],
+			Seed:             cfg.Seed + int64(i+1)*fleetMoteSeedStride,
+			ClockOffsetTicks: uint64(offRNG.Intn(1 << 20)),
+		}
+	}
+	return specs
+}
+
+// RunFleet executes the Code Tomography pipeline against a simulated
+// deployment: N motes run the instrumented binary under heterogeneous
+// workloads, upload their traces over a lossy radio link, and the base
+// station estimates branch probabilities from the merged streams —
+// incrementally, one uplink round at a time, stopping early per procedure
+// once the estimate stabilizes. The placement and measurement tail is
+// identical to Run's, so FleetResult.Before/After are directly comparable
+// to a single-mote Result.
+//
+// For a fixed config, RunFleet is bit-for-bit deterministic (estimates and
+// all counters except wall times) regardless of Workers and GOMAXPROCS.
+func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	enum := markov.EnumerateOptions{MaxVisits: cfg.MaxVisits, MaxPaths: 30000}
+
+	// 1. One instrumented build; every mote runs the same binary.
+	prof, err := compile.Build(source, compile.Options{
+		Instrument:   compile.ModeTimestamps,
+		FuseCompares: cfg.FuseCompares,
+		RotateLoops:  cfg.RotateLoops,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Simulate the deployment on a bounded worker pool.
+	mc := mote.DefaultConfig()
+	mc.TickDiv = cfg.TickDiv
+	mc.Predictor = cfg.Predictor
+	sim := fleet.SimConfig{
+		Prog:      prof.Code,
+		Mote:      mc,
+		MaxCycles: cfg.MaxCycles,
+		Workers:   cfg.Workers,
+		Link: fleet.LinkConfig{
+			DropProb:        cfg.DropProb,
+			DupProb:         cfg.DupProb,
+			ReorderProb:     cfg.ReorderProb,
+			EventsPerPacket: cfg.EventsPerPacket,
+			Seed:            cfg.Seed + fleetLinkSeed,
+		},
+	}
+	fst := fleet.Stats{Motes: cfg.Motes, SamplesPerProc: make(map[string]int)}
+	t0 := time.Now()
+	uploads, err := fleet.Simulate(sim, fleetSpecs(cfg))
+	if err != nil {
+		return nil, err
+	}
+	fst.SimWall = time.Since(t0)
+
+	// 3. Reassemble each mote's stream (mote order) and batch the merged
+	// per-procedure samples into uplink rounds.
+	t1 := time.Now()
+	perMote := make([]map[int][]float64, len(uploads))
+	for i, up := range uploads {
+		ivs, ust, err := fleet.Reassemble(up)
+		if err != nil {
+			return nil, err
+		}
+		fst.Link.Sent += up.Link.Sent
+		fst.Link.Dropped += up.Link.Dropped
+		fst.Link.Duplicated += up.Link.Duplicated
+		fst.Link.Reordered += up.Link.Reordered
+		fst.Uplink.PacketsDelivered += ust.PacketsDelivered
+		fst.Uplink.PacketsDuplicate += ust.PacketsDuplicate
+		fst.Uplink.PacketsLost += ust.PacketsLost
+		fst.Uplink.EventsDelivered += ust.EventsDelivered
+		fst.Uplink.InvocationsRecovered += ust.InvocationsRecovered
+		fst.Uplink.InvocationsDiscarded += ust.InvocationsDiscarded
+		fst.EventsLogged += up.EventsLogged
+		durs := make(map[int][]float64)
+		for p, ticks := range trace.ExclusiveByProc(ivs) {
+			durs[p] = trace.DurationsCycles(ticks, cfg.TickDiv)
+		}
+		perMote[i] = durs
+	}
+	rounds := fleet.BatchStreams(perMote, cfg.Batches)
+	fst.UplinkWall = time.Since(t1)
+
+	// 4. Build models for every estimable procedure, then estimate all
+	// streams in parallel (one goroutine per procedure, deterministic
+	// merge order).
+	oracleStats := fleet.MergeBranchStats(uploads)
+	type pending struct {
+		pe        ProcEstimate
+		streamIdx int // -1: fallback, no stream
+		model     *tomography.Model
+		oracle    markov.EdgeProbs
+	}
+	var pendings []pending
+	var streams []fleet.ProcStream
+	probs := make(map[string]markov.EdgeProbs)
+	for _, p := range prof.CFG.Procs {
+		pm := prof.Meta.ProcByName[p.Name]
+		if len(p.BranchBlocks()) == 0 {
+			probs[p.Name] = markov.Uniform(p)
+			continue
+		}
+		batches := rounds[pm.Index]
+		total := 0
+		var all []float64
+		for _, b := range batches {
+			total += len(b)
+			all = append(all, b...)
+		}
+		fst.SamplesPerProc[p.Name] = total
+		pd := pending{pe: ProcEstimate{Proc: p.Name, SampleCount: total}, streamIdx: -1}
+		if total >= cfg.MinSamples {
+			m, err := tomography.NewModel(prof, p.Name, cfg.Predictor, enum)
+			if err != nil {
+				return nil, fmt.Errorf("codetomo: model %s: %w", p.Name, err)
+			}
+			if m.Coverage(all, float64(cfg.TickDiv)) >= cfg.MinCoverage {
+				pd.model = m
+				pd.oracle = profile.OracleProbs(pm, p, oracleStats)
+				pd.streamIdx = len(streams)
+				streams = append(streams, fleet.ProcStream{Name: p.Name, Model: m, Batches: batches})
+			}
+		}
+		if pd.streamIdx < 0 {
+			pd.pe.Fallback = true
+		}
+		pendings = append(pendings, pd)
+	}
+
+	t2 := time.Now()
+	outcomes, err := fleet.EstimateStreams(streams, cfg.Estimator, cfg.ConvergeTol, cfg.ConvergePatience)
+	if err != nil {
+		return nil, err
+	}
+	fst.EstimateWall = time.Since(t2)
+
+	res := &FleetResult{}
+	for _, pd := range pendings {
+		if pd.streamIdx < 0 {
+			res.Estimates = append(res.Estimates, pd.pe)
+			continue
+		}
+		o := outcomes[pd.streamIdx]
+		fst.EstimatedProcs++
+		fst.Rounds += o.Rounds
+		fst.Iterations += o.Iterations
+		if o.Converged {
+			fst.ConvergedProcs++
+		}
+		pd.pe.Branches, pd.pe.MAE = branchEstimates(pd.model, o.Probs, pd.oracle, cfg.TickDiv)
+		probs[pd.pe.Proc] = o.Probs
+		res.Estimates = append(res.Estimates, pd.pe)
+	}
+
+	// 5. Place and measure with Run's tail.
+	plan := layout.PlanAll(prof.CFG, probs)
+	res.Before, res.After, res.Output, err = cfg.Config.measureLayouts(source, plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Fleet = fst
+	return res, nil
+}

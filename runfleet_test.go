@@ -1,0 +1,195 @@
+package codetomo
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"codetomo/internal/fleet"
+	"codetomo/internal/mote"
+)
+
+func fleetConfig() FleetConfig {
+	return FleetConfig{
+		Config:      Config{Seed: 5},
+		Motes:       3,
+		Workloads:   []string{"gaussian", "uniform", "bursty"},
+		DropProb:    0.2,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+		Batches:     6,
+	}
+}
+
+func TestRunFleetEndToEnd(t *testing.T) {
+	src := sourceFor(t, "sense", 800)
+	res, err := RunFleet(src, fleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) == 0 {
+		t.Fatal("no procedures estimated")
+	}
+	var handler *ProcEstimate
+	for i := range res.Estimates {
+		if res.Estimates[i].Proc == "sample" {
+			handler = &res.Estimates[i]
+		}
+	}
+	if handler == nil || handler.Fallback {
+		t.Fatalf("handler missing or fell back: %+v", handler)
+	}
+	// Three motes × 800 iterations, minus loss: the fleet must deliver
+	// more samples than any single mote logged.
+	if handler.SampleCount <= 800 {
+		t.Fatalf("fleet sample count = %d, want > 800", handler.SampleCount)
+	}
+	if handler.MAE > 0.15 {
+		t.Fatalf("handler MAE = %v under 20%% loss, want < 0.15", handler.MAE)
+	}
+	st := res.Fleet
+	if st.Motes != 3 || st.Link.Sent == 0 || st.Link.Dropped == 0 {
+		t.Fatalf("uplink accounting implausible: %+v", st.Link)
+	}
+	if st.Uplink.InvocationsRecovered == 0 || st.Uplink.InvocationsDiscarded == 0 {
+		t.Fatalf("loss accounting implausible: %+v", st.Uplink)
+	}
+	if st.EstimatedProcs == 0 || st.Rounds == 0 || st.Iterations == 0 {
+		t.Fatalf("estimation accounting implausible: %+v", st)
+	}
+	if st.SamplesPerProc["sample"] != handler.SampleCount {
+		t.Fatalf("SamplesPerProc = %d, estimate saw %d", st.SamplesPerProc["sample"], handler.SampleCount)
+	}
+	// The optimization tail still holds under fleet estimation.
+	if res.After.Mispredicts > res.Before.Mispredicts {
+		t.Fatalf("mispredicts grew: %d -> %d", res.Before.Mispredicts, res.After.Mispredicts)
+	}
+	// Stats render without panicking and carry the headline counters.
+	out := ""
+	for _, tab := range st.Tables() {
+		out += tab.Render()
+	}
+	for _, want := range []string{"packets sent", "invocations recovered", "estimation rounds", "sample"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered fleet stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The acceptance bar: a seeded fleet run reproduces bit-for-bit — same
+// estimates, same loss/recovery counters — across invocations, worker
+// counts, and GOMAXPROCS settings.
+func TestRunFleetDeterministic(t *testing.T) {
+	src := sourceFor(t, "sense", 500)
+
+	type snapshot struct {
+		estimates []ProcEstimate
+		link      fleet.LinkStats
+		uplink    interface{}
+		before    RunStats
+		output    []uint16
+	}
+	take := func(workers, maxprocs int) snapshot {
+		prev := runtime.GOMAXPROCS(maxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := fleetConfig()
+		cfg.Workers = workers
+		res, err := RunFleet(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{
+			estimates: res.Estimates,
+			link:      res.Fleet.Link,
+			uplink:    res.Fleet.Uplink,
+			before:    res.Before,
+			output:    res.Output,
+		}
+	}
+
+	ref := take(1, 1)
+	for _, tc := range []struct{ workers, maxprocs int }{{1, 1}, {4, 1}, {4, 4}} {
+		got := take(tc.workers, tc.maxprocs)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d GOMAXPROCS=%d diverged from reference:\n%+v\nvs\n%+v",
+				tc.workers, tc.maxprocs, got, ref)
+		}
+	}
+}
+
+// MAE under 20% packet loss must stay within 2× of the lossless MAE — the
+// loss-tolerant reassembly only removes samples, it must not bias them.
+func TestRunFleetLossyMAEWithinBound(t *testing.T) {
+	src := sourceFor(t, "sense", 1200)
+	base := fleetConfig()
+	base.DropProb, base.DupProb, base.ReorderProb = 0, 0, 0
+	lossy := fleetConfig()
+	lossy.DropProb = 0.2
+
+	mae := func(cfg FleetConfig) float64 {
+		res, err := RunFleet(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pe := range res.Estimates {
+			if pe.Proc == "sample" {
+				if pe.Fallback {
+					t.Fatal("handler fell back")
+				}
+				return pe.MAE
+			}
+		}
+		t.Fatal("handler estimate missing")
+		return 0
+	}
+	lossless, lossyMAE := mae(base), mae(lossy)
+	bound := 2 * lossless
+	if bound < 0.02 {
+		// Floor the bound: a near-zero lossless MAE would demand more of
+		// 20% loss than of the estimator itself.
+		bound = 0.02
+	}
+	if lossyMAE > bound {
+		t.Fatalf("lossy MAE %v exceeds bound %v (lossless %v)", lossyMAE, bound, lossless)
+	}
+}
+
+func TestRunFleetRejectsStatefulPredictor(t *testing.T) {
+	src := sourceFor(t, "sense", 100)
+	cfg := fleetConfig()
+	cfg.Predictor = mote.NewBimodal(6)
+	if _, err := RunFleet(src, cfg); err == nil {
+		t.Fatal("stateful predictor accepted")
+	}
+}
+
+func TestFleetConfigValidate(t *testing.T) {
+	bad := []FleetConfig{
+		{Motes: -1},
+		{Motes: 1 << 17},
+		{Workers: -2},
+		{EventsPerPacket: -1},
+		{EventsPerPacket: 1000},
+		{DropProb: 1.5},
+		{DupProb: -0.1},
+		{ReorderProb: 7},
+		{Batches: -3},
+		{ConvergeTol: -1},
+		{ConvergePatience: -1},
+		{Config: Config{TickDiv: -8}},
+		{Config: Config{MinCoverage: 1.5}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := fleetConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	// RunFleet surfaces validation errors before doing any work.
+	if _, err := RunFleet("func main() {}", FleetConfig{Motes: -1}); err == nil {
+		t.Error("RunFleet accepted invalid config")
+	}
+}

@@ -1,13 +1,15 @@
 #!/bin/sh
 # verify.sh: the repo's tier-1 check. Everything here must pass before a
-# change lands: formatting, vet, a clean build, the full test suite, and
-# the linter over the example corpus (clean.mc must stay clean; the demo
-# programs only carry warnings, so ctlint exits 0 on all of them).
+# change lands: formatting, vet, a clean build, the full test suite under
+# the race detector (the fleet simulator and streaming estimator are
+# concurrent), and the linter over the example corpus (clean.mc must stay
+# clean; the demo programs only carry warnings, so ctlint exits 0 on all
+# of them).
 set -eu
 cd "$(dirname "$0")"
 
 echo "== gofmt"
-badfmt=$(gofmt -l cmd internal examples)
+badfmt=$(gofmt -l .)
 if [ -n "$badfmt" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$badfmt" >&2
@@ -20,8 +22,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+echo "== go test -race"
+go test -race ./...
 
 echo "== ctlint examples"
 go run ./cmd/ctlint examples/minic/*.mc
