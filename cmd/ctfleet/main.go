@@ -1,59 +1,124 @@
 // Command ctfleet runs the Code Tomography pipeline against a simulated
 // sensor-network deployment: N motes execute the instrumented program
-// under heterogeneous workloads and skewed clocks, upload their trace logs
-// over a lossy radio link, and the base station estimates branch
-// probabilities from the merged streams — incrementally, with per-procedure
-// convergence-based early stop — before optimizing the placement.
+// under heterogeneous workloads and skewed clocks — optionally with
+// injected crashes, brownouts, and sensor faults — upload their trace logs
+// over a lossy, corrupting radio link with optional ARQ recovery, and the
+// base station estimates branch probabilities from the merged streams —
+// incrementally, with per-procedure convergence-based early stop — before
+// optimizing the placement.
 //
 // Usage:
 //
-//	ctfleet [-motes 4] [-workloads gaussian,uniform] [-drop 0.2] [-seed 1] file.mc
+//	ctfleet [-motes 4] [-drop 0.2] [-corrupt 0.05] [-arq 3] [-crash 2000000] [-robust] file.mc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	codetomo "codetomo"
 	"codetomo/internal/tomography"
+	"codetomo/internal/trace"
 )
 
 func main() {
-	motes := flag.Int("motes", 4, "deployment size")
-	workloads := flag.String("workloads", "", "comma-separated input regimes assigned round-robin (default: -workload for every mote)")
-	regime := flag.String("workload", "gaussian", "base input regime: gaussian, uniform, bursty, regime, diurnal")
-	seed := flag.Int64("seed", 1, "master random seed (motes, clocks, and channel derive from it)")
-	tick := flag.Int("tick", 8, "timer prescaler in cycles")
-	estName := flag.String("estimator", "em", "estimator: em, moments, or histogram")
-	drop := flag.Float64("drop", 0, "per-packet loss probability in [0,1]")
-	dup := flag.Float64("dup", 0, "per-packet duplication probability in [0,1]")
-	reorder := flag.Float64("reorder", 0, "per-packet reorder probability in [0,1]")
-	perPacket := flag.Int("packet", 0, "trace events per radio packet (0 = default 32)")
-	batches := flag.Int("batches", 0, "uplink rounds for incremental estimation (0 = default 8)")
-	workers := flag.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ctfleet [flags] file.mc")
-		flag.PrintDefaults()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parse, validate, execute, report. Exit
+// codes: 0 success, 1 pipeline failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	motes := fs.Int("motes", 4, "deployment size")
+	workloads := fs.String("workloads", "", "comma-separated input regimes assigned round-robin (default: -workload for every mote)")
+	regime := fs.String("workload", "gaussian", "base input regime: gaussian, uniform, bursty, regime, diurnal")
+	seed := fs.Int64("seed", 1, "master random seed (motes, clocks, channel, and faults derive from it)")
+	tick := fs.Int("tick", 8, "timer prescaler in cycles")
+	estName := fs.String("estimator", "em", "estimator: em, moments, or histogram")
+	drop := fs.Float64("drop", 0, "per-packet loss probability in [0,1]")
+	dup := fs.Float64("dup", 0, "per-packet duplication probability in [0,1]")
+	reorder := fs.Float64("reorder", 0, "per-packet reorder probability in [0,1]")
+	corrupt := fs.Float64("corrupt", 0, "per-transmission bit-flip probability in [0,1]")
+	packetver := fs.Int("packetver", trace.PacketVersionCRC, "uplink wire format: 2 (CRC-16) or 1 (legacy, no checksum)")
+	arq := fs.Int("arq", 0, "max selective-repeat retransmission rounds per uplink (0 = off; requires -packetver 2)")
+	arqBackoff := fs.Uint64("arqbackoff", 0, "base backoff ticks between ARQ rounds (0 = default 64)")
+	crash := fs.Uint64("crash", 0, "mean cycles between watchdog resets (0 = no crash injection)")
+	brownout := fs.Float64("brownout", 0, "probability in [0,1] that a reset is a long brownout")
+	stuck := fs.Float64("stuck", 0, "per-read probability in [0,1] of an ADC stuck-at episode")
+	adcnoise := fs.Float64("adcnoise", 0, "per-read probability in [0,1] of an ADC glitch")
+	faultseed := fs.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
+	maxcycles := fs.Uint64("maxcycles", 0, "per-mote cycle budget (0 = default)")
+	robust := fs.Bool("robust", false, "outlier-robust estimation with per-procedure confidence gating")
+	trim := fs.Float64("trim", 0, "robust outlier cut in cycles (0 = default 4x the EM kernel)")
+	maxtrim := fs.Float64("maxtrim", 0, "trim fraction in [0,1] beyond which a procedure is low-confidence (0 = default 0.25)")
+	perPacket := fs.Int("packet", 0, "trace events per radio packet (0 = default 32)")
+	batches := fs.Int("batches", 0, "uplink rounds for incremental estimation (0 = default 8)")
+	workers := fs.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "ctfleet: "+format+"\n", args...)
+		fmt.Fprintln(stderr, "usage: ctfleet [flags] file.mc")
+		fs.PrintDefaults()
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage("expected exactly one source file, got %d args", fs.NArg())
+	}
+	for _, p := range []struct {
+		name string
+		val  float64
+	}{
+		{"-drop", *drop}, {"-dup", *dup}, {"-reorder", *reorder}, {"-corrupt", *corrupt},
+		{"-brownout", *brownout}, {"-stuck", *stuck}, {"-adcnoise", *adcnoise}, {"-maxtrim", *maxtrim},
+	} {
+		if p.val < 0 || p.val > 1 {
+			return usage("invalid %s: %v is not a probability in [0, 1]", p.name, p.val)
+		}
+	}
+	if *packetver != trace.PacketVersionLegacy && *packetver != trace.PacketVersionCRC {
+		return usage("invalid -packetver: %d (want %d or %d)", *packetver, trace.PacketVersionLegacy, trace.PacketVersionCRC)
+	}
+	if *arq < 0 {
+		return usage("invalid -arq: %d retransmission rounds", *arq)
+	}
+	if *arq > 0 && *packetver == trace.PacketVersionLegacy {
+		return usage("invalid -arq: ARQ needs CRC frames to know what to NACK; use it with -packetver %d", trace.PacketVersionCRC)
+	}
+	if *trim < 0 {
+		return usage("invalid -trim: %v cycles", *trim)
+	}
+	if *motes < 1 {
+		return usage("invalid -motes: %d", *motes)
 	}
 
 	cfg := codetomo.FleetConfig{
-		Config:          codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick},
+		Config:          codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick, MaxCycles: *maxcycles},
 		Motes:           *motes,
 		Workers:         *workers,
 		EventsPerPacket: *perPacket,
 		DropProb:        *drop,
 		DupProb:         *dup,
 		ReorderProb:     *reorder,
+		CorruptProb:     *corrupt,
+		PacketVersion:   *packetver,
+		ARQRetries:      *arq,
+		ARQBackoffTicks: *arqBackoff,
+		Robust:          *robust,
+		TrimWidth:       *trim,
+		MaxTrimFraction: *maxtrim,
 		Batches:         *batches,
 	}
+	cfg.Faults.CrashMTBFCycles = *crash
+	cfg.Faults.BrownoutProb = *brownout
+	cfg.Faults.SensorStuckProb = *stuck
+	cfg.Faults.SensorNoiseProb = *adcnoise
+	cfg.Faults.Seed = *faultseed
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
@@ -65,47 +130,59 @@ func main() {
 	case "histogram":
 		cfg.Estimator = tomography.Histogram{Config: tomography.HistogramConfig{KernelHalfWidth: float64(*tick)}}
 	default:
-		fatal(fmt.Errorf("unknown estimator %q", *estName))
+		return usage("invalid -estimator: %q (want em, moments, or histogram)", *estName)
+	}
+	if *robust && *estName != "em" {
+		return usage("invalid -robust: the robust estimator wraps EM; drop -estimator %s", *estName)
 	}
 
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "ctfleet:", err)
+		return 1
+	}
 	res, err := codetomo.RunFleet(string(src), cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "ctfleet:", err)
+		return 1
 	}
 
 	for _, tab := range res.Fleet.Tables() {
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	}
 
-	fmt.Println("estimates (per procedure, merged fleet samples):")
+	fmt.Fprintln(stdout, "estimates (per procedure, merged fleet samples):")
 	for _, pe := range res.Estimates {
 		if pe.Fallback {
-			fmt.Printf("  %-14s %6d samples  (untrusted model; layout left unchanged)\n", pe.Proc, pe.SampleCount)
+			fmt.Fprintf(stdout, "  %-14s %6d samples  (untrusted model; layout left unchanged)\n", pe.Proc, pe.SampleCount)
 			continue
 		}
-		fmt.Printf("  %-14s %6d samples  MAE vs fleet oracle %.4f\n", pe.Proc, pe.SampleCount, pe.MAE)
+		note := ""
+		if pe.TrimmedSamples > 0 {
+			note = fmt.Sprintf("  [%d outliers trimmed]", pe.TrimmedSamples)
+		}
+		if pe.LowConfidence {
+			note += "  [low confidence; layout left unchanged]"
+		}
+		fmt.Fprintf(stdout, "  %-14s %6d samples  MAE vs fleet oracle %.4f%s\n", pe.Proc, pe.SampleCount, pe.MAE, note)
 		for _, b := range pe.Branches {
 			warn := ""
 			if b.Ambiguity > 0.9 {
 				warn = "  [structurally ambiguous at this timer resolution]"
 			}
-			fmt.Printf("      b%-3d -> b%-3d  est %.3f  oracle %.3f%s\n", b.FromBlock, b.ToBlock, b.Prob, b.Oracle, warn)
+			fmt.Fprintf(stdout, "      b%-3d -> b%-3d  est %.3f  oracle %.3f%s\n", b.FromBlock, b.ToBlock, b.Prob, b.Oracle, warn)
 		}
 	}
 
-	fmt.Println("\nplacement result (uninstrumented, base workload):")
-	fmt.Printf("  %-22s %14s %14s\n", "", "original", "optimized")
-	fmt.Printf("  %-22s %14d %14d\n", "cycles", res.Before.Cycles, res.After.Cycles)
-	fmt.Printf("  %-22s %14d %14d\n", "cond branches", res.Before.CondBranches, res.After.CondBranches)
-	fmt.Printf("  %-22s %14d %14d\n", "mispredicts", res.Before.Mispredicts, res.After.Mispredicts)
-	fmt.Printf("  %-22s %13.2f%% %13.2f%%\n", "mispredict rate",
+	fmt.Fprintln(stdout, "\nplacement result (uninstrumented, base workload):")
+	fmt.Fprintf(stdout, "  %-22s %14s %14s\n", "", "original", "optimized")
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "cycles", res.Before.Cycles, res.After.Cycles)
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "cond branches", res.Before.CondBranches, res.After.CondBranches)
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "mispredicts", res.Before.Mispredicts, res.After.Mispredicts)
+	fmt.Fprintf(stdout, "  %-22s %13.2f%% %13.2f%%\n", "mispredict rate",
 		100*res.Before.MispredictRate(), 100*res.After.MispredictRate())
-	fmt.Printf("  %-22s %14.1f %14.1f\n", "energy (uJ)", res.Before.EnergyUJ, res.After.EnergyUJ)
-	fmt.Printf("\n  misprediction reduction: %.1f%%   speedup: %.3fx\n",
+	fmt.Fprintf(stdout, "  %-22s %14.1f %14.1f\n", "energy (uJ)", res.Before.EnergyUJ, res.After.EnergyUJ)
+	fmt.Fprintf(stdout, "\n  misprediction reduction: %.1f%%   speedup: %.3fx\n",
 		100*res.MispredictReduction(), res.Speedup())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ctfleet:", err)
-	os.Exit(1)
+	return 0
 }

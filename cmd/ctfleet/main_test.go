@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const tinyProgram = `
+func work(v int) int {
+	var r int;
+	r = 0;
+	if (v > 500) {
+		r = r + v % 13;
+	}
+	return r;
+}
+
+func main() {
+	var i int;
+	var acc int;
+	acc = 0;
+	for (i = 0; i < 200; i = i + 1) {
+		acc = acc + work(sense());
+	}
+	debug(acc);
+}`
+
+func writeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(tinyProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Invalid flag combinations must exit non-zero and name the offending flag
+// on stderr, so a misconfigured campaign fails loudly instead of running
+// with silently-clamped parameters.
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	prog := writeProgram(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantFlag string
+	}{
+		{"no file", []string{}, "one source file"},
+		{"drop out of range", []string{"-drop", "1.5", prog}, "-drop"},
+		{"negative corrupt", []string{"-corrupt", "-0.1", prog}, "-corrupt"},
+		{"brownout out of range", []string{"-brownout", "2", prog}, "-brownout"},
+		{"stuck out of range", []string{"-stuck", "-1", prog}, "-stuck"},
+		{"maxtrim out of range", []string{"-maxtrim", "1.5", prog}, "-maxtrim"},
+		{"bad packet version", []string{"-packetver", "3", prog}, "-packetver"},
+		{"negative arq", []string{"-arq", "-2", prog}, "-arq"},
+		{"arq on legacy frames", []string{"-arq", "3", "-packetver", "1", prog}, "-arq"},
+		{"negative trim", []string{"-trim", "-5", prog}, "-trim"},
+		{"zero motes", []string{"-motes", "0", prog}, "-motes"},
+		{"unknown estimator", []string{"-estimator", "psychic", prog}, "-estimator"},
+		{"robust over histogram", []string{"-robust", "-estimator", "histogram", prog}, "-robust"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantFlag) {
+				t.Fatalf("stderr does not name %q:\n%s", tc.wantFlag, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "usage:") {
+				t.Fatalf("stderr has no usage message:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.mc")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	prog := writeProgram(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-motes", "2", "-workers", "2", prog}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Fleet uplink", "estimates (per procedure", "placement result"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The full fault path through the CLI: crashes, corruption, ARQ, and the
+// robust estimator together must still complete and report recovery
+// accounting.
+func TestRunFaultyDeployment(t *testing.T) {
+	prog := writeProgram(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-motes", "2", "-workers", "2",
+		"-corrupt", "0.05", "-arq", "3",
+		"-crash", "1000000", "-maxcycles", "4000000",
+		"-robust",
+		prog,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "mote resets") {
+		t.Fatalf("stdout missing fault accounting:\n%s", stdout.String())
+	}
+}

@@ -179,6 +179,13 @@ type ProcEstimate struct {
 	MAE float64
 	// Fallback reports the static heuristic was used instead.
 	Fallback bool
+	// TrimmedSamples counts observations the robust estimator discarded
+	// as model-implausible outliers (0 under plain estimation).
+	TrimmedSamples int
+	// LowConfidence reports the robust estimator did not trust its own
+	// result (excessive trimming or non-convergence); the procedure's
+	// layout was left at the baseline instead of being optimized on it.
+	LowConfidence bool
 }
 
 // Result is the outcome of one full pipeline run.

@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -205,5 +205,86 @@ func TestFleetSweepShapes(t *testing.T) {
 	solo, octet := floatCell(t, fl2.Rows[0][2]), floatCell(t, fl2.Rows[3][2])
 	if octet > solo+0.01 {
 		t.Fatalf("FL2: MAE worsened with fleet size: %v -> %v\n%s", solo, octet, fl2.Render())
+	}
+}
+
+// maeCell parses a MAE cell that may carry a low-confidence marker; a
+// "fallback" cell fails the test, since these sweeps must keep estimating.
+func maeCell(t *testing.T, s string) float64 {
+	t.Helper()
+	if s == "fallback" {
+		t.Fatalf("handler fell back to baseline")
+	}
+	return floatCell(t, strings.TrimSuffix(s, "*"))
+}
+
+// The acceptance bar for the fault experiments: the hardened path degrades
+// gracefully — MAE within 2× the fault-free figure at every fault level —
+// while the naive path demonstrably does not, and the recovery protocol's
+// cost shows up where it should.
+func TestFaultSweepShapes(t *testing.T) {
+	c := fastConfig()
+	c.Samples = 1600 // 400 per mote at the 4-mote baseline
+
+	ft1, err := FaultRecoverySweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft1.Rows) != 4 {
+		t.Fatalf("FT1 rows = %d\n%s", len(ft1.Rows), ft1.Render())
+	}
+	hardBase := maeCell(t, ft1.Rows[0][3])
+	bound := 2 * hardBase
+	if bound < 0.03 {
+		bound = 0.03
+	}
+	for _, row := range ft1.Rows {
+		if hard := maeCell(t, row[3]); hard > bound {
+			t.Fatalf("FT1 %s: hardened MAE %v exceeds bound %v\n%s", row[0], hard, bound, ft1.Render())
+		}
+	}
+	// The naive path must visibly suffer at the highest fault level, or
+	// the comparison demonstrates nothing.
+	naiveClean := maeCell(t, ft1.Rows[0][2])
+	naiveHigh := maeCell(t, ft1.Rows[3][2])
+	hardHigh := maeCell(t, ft1.Rows[3][3])
+	if !(naiveHigh > 2*naiveClean) || !(naiveHigh > hardHigh) {
+		t.Fatalf("FT1: naive path did not degrade (clean %v, high %v, hard %v)\n%s",
+			naiveClean, naiveHigh, hardHigh, ft1.Render())
+	}
+	// The high fault level must actually crash motes.
+	if floatCell(t, ft1.Rows[3][1]) == 0 {
+		t.Fatalf("FT1: no resets at the high fault level\n%s", ft1.Render())
+	}
+
+	ft2, err := ARQOverheadSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft2.Rows) != 5 {
+		t.Fatalf("FT2 rows = %d\n%s", len(ft2.Rows), ft2.Render())
+	}
+	// No corruption, no protocol: the zero row must be all-quiet.
+	if floatCell(t, ft2.Rows[0][1]) != 0 || floatCell(t, ft2.Rows[0][2]) != 0 {
+		t.Fatalf("FT2: protocol active on a clean channel\n%s", ft2.Render())
+	}
+	// Rising corruption costs retransmissions and goodput, monotonically
+	// from the clean row to the worst one.
+	if !(floatCell(t, ft2.Rows[4][2]) > floatCell(t, ft2.Rows[1][2])) {
+		t.Fatalf("FT2: retransmissions did not grow with corruption\n%s", ft2.Render())
+	}
+	if !(pctCell(t, ft2.Rows[4][5]) < pctCell(t, ft2.Rows[0][5])) {
+		t.Fatalf("FT2: goodput did not fall with corruption\n%s", ft2.Render())
+	}
+	// What ARQ buys: even the worst corruption rate stays near the clean
+	// estimation error.
+	cleanMAE := maeCell(t, ft2.Rows[0][6])
+	worstMAE := maeCell(t, ft2.Rows[4][6])
+	wbound := 2 * cleanMAE
+	if wbound < 0.03 {
+		wbound = 0.03
+	}
+	if worstMAE > wbound {
+		t.Fatalf("FT2: MAE at 40%% corruption %v exceeds bound %v\n%s", worstMAE, wbound, ft2.Render())
 	}
 }

@@ -47,6 +47,8 @@ func Experiments() []Experiment {
 		{"a4", "Ablation 4: dynamic prediction vs code placement", AblationDynamicPredictor},
 		{"fl1", "Fleet 1: estimation error vs packet loss", FleetLossSweep},
 		{"fl2", "Fleet 2: estimation error vs fleet size", FleetSizeSweep},
+		{"ft1", "Fault 1: naive vs hardened uplink under faults", FaultRecoverySweep},
+		{"ft2", "Fault 2: ARQ recovery cost vs corruption rate", ARQOverheadSweep},
 	}
 }
 

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// counter is a deterministic ADC that counts up, so any fault-induced
+// deviation from the ramp is visible.
+type counter struct{ n uint16 }
+
+func (c *counter) Next() uint16 { c.n++; return c.n }
+
+func TestResetsDeterministic(t *testing.T) {
+	cfg := Config{CrashMTBFCycles: 100_000, Seed: 7}
+	a := cfg.Resets(10_000_000, 3)
+	b := cfg.Resets(10_000_000, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (config, mote) derived different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("MTBF 100k over 10M cycles produced no resets")
+	}
+	c := cfg.Resets(10_000_000, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different motes got identical fault schedules")
+	}
+	prev := uint64(0)
+	for i, r := range a {
+		if r.AtCycle <= prev {
+			t.Fatalf("schedule not strictly increasing at %d: %+v", i, a)
+		}
+		if r.AtCycle >= 10_000_000 {
+			t.Fatalf("reset %d at %d, past the campaign end", i, r.AtCycle)
+		}
+		if r.DownCycles != 512 {
+			t.Fatalf("reset %d: down %d, want default watchdog 512", i, r.DownCycles)
+		}
+		prev = r.AtCycle
+	}
+}
+
+func TestResetsBrownouts(t *testing.T) {
+	cfg := Config{CrashMTBFCycles: 50_000, BrownoutProb: 1, BrownoutCycles: 9999, Seed: 1}
+	for i, r := range cfg.Resets(5_000_000, 0) {
+		if r.DownCycles != 9999 {
+			t.Fatalf("reset %d: down %d, want every reset upgraded to a brownout", i, r.DownCycles)
+		}
+	}
+}
+
+func TestResetsDisabled(t *testing.T) {
+	if (Config{}).Resets(1_000_000, 0) != nil {
+		t.Fatal("zero config scheduled resets")
+	}
+	if (Config{CrashMTBFCycles: 100}).Resets(0, 0) != nil {
+		t.Fatal("empty campaign scheduled resets")
+	}
+}
+
+func TestWrapSensorPassthrough(t *testing.T) {
+	src := &counter{}
+	if (Config{CrashMTBFCycles: 100}).WrapSensor(src, 0) != src {
+		t.Fatal("sensor-fault-free config should return the source unchanged")
+	}
+}
+
+func TestWrapSensorStuckAt(t *testing.T) {
+	cfg := Config{SensorStuckProb: 1, SensorStuckReads: 5, Seed: 3}
+	s := cfg.WrapSensor(&counter{}, 0)
+	first := s.Next()
+	for i := 0; i < 5; i++ {
+		if got := s.Next(); got != first {
+			t.Fatalf("read %d = %d during stuck episode, want latched %d", i, got, first)
+		}
+	}
+	// The inner source kept advancing underneath the latch: with prob 1 a
+	// new episode starts immediately, latching the post-episode ramp value.
+	if got := s.Next(); got != first+6 {
+		t.Fatalf("post-episode read = %d, want %d (inner source must keep advancing)", got, first+6)
+	}
+}
+
+func TestWrapSensorNoiseBounded(t *testing.T) {
+	cfg := Config{SensorNoiseProb: 1, SensorNoiseAmp: 10, Seed: 5}
+	s := cfg.WrapSensor(&counter{}, 0)
+	glitched := false
+	for i := 1; i <= 200; i++ {
+		got := int(s.Next())
+		if got < i-10 || got > i+10 {
+			t.Fatalf("read %d = %d, outside ±10 of ramp value %d", i, got, i)
+		}
+		if got != i {
+			glitched = true
+		}
+	}
+	if !glitched {
+		t.Fatal("noise with prob 1 never perturbed a reading")
+	}
+}
+
+func TestWrapSensorDeterministic(t *testing.T) {
+	cfg := Config{SensorStuckProb: 0.05, SensorNoiseProb: 0.2, Seed: 11}
+	a := cfg.WrapSensor(&counter{}, 2)
+	b := cfg.WrapSensor(&counter{}, 2)
+	other := cfg.WrapSensor(&counter{}, 9)
+	same, diff := true, true
+	for i := 0; i < 500; i++ {
+		va, vb, vo := a.Next(), b.Next(), other.Next()
+		if va != vb {
+			same = false
+		}
+		if va != vo {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("same (config, mote) produced different sensor streams")
+	}
+	if diff {
+		t.Fatal("different motes saw identical fault perturbations")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{CrashMTBFCycles: 1},
+		{SensorStuckProb: 0.1},
+		{SensorNoiseProb: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("%+v reports disabled", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{BrownoutProb: -0.1},
+		{BrownoutProb: 1.1},
+		{SensorStuckProb: 2},
+		{SensorNoiseProb: -1},
+		{SensorStuckReads: -1},
+		{SensorNoiseAmp: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if err := (Config{CrashMTBFCycles: 1000, BrownoutProb: 0.5, SensorNoiseProb: 0.1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

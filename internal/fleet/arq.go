@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"codetomo/internal/stats"
+	"codetomo/internal/trace"
+)
+
+// ARQConfig tunes selective-repeat retransmission on the uplink: after
+// each round the base station NACKs every sequence number it did not
+// receive intact, and the mote resends those frames through the same
+// channel. The protocol is deterministic — retry rounds draw from the
+// same channel RNG stream, and backoff is accounted in ticks rather than
+// waited in wall time.
+type ARQConfig struct {
+	// MaxRetries bounds the retransmission rounds per uplink; 0 disables
+	// ARQ entirely.
+	MaxRetries int
+	// BackoffBaseTicks is the base of the exponential backoff between
+	// rounds: round k charges BackoffBaseTicks << (k-1) ticks to the
+	// ARQStats (default 64). This models the radio's contention window;
+	// it never sleeps.
+	BackoffBaseTicks uint64
+}
+
+// Enabled reports whether any retransmission rounds may run.
+func (a ARQConfig) Enabled() bool { return a.MaxRetries > 0 }
+
+// ARQStats is the recovery protocol's accounting for one mote's upload
+// (or, summed, for a fleet).
+type ARQStats struct {
+	// Rounds counts retransmission rounds that actually ran; Nacked is
+	// the total sequence numbers NACKed across them (a sequence NACKed in
+	// two rounds counts twice); Retransmissions is the frames resent.
+	Rounds, Nacked, Retransmissions int
+	// Recovered counts sequences missing after the initial pass that an
+	// ARQ round eventually delivered intact; Unrecovered is what was
+	// still missing when retries ran out.
+	Recovered, Unrecovered int
+	// BackoffTicks is the total simulated backoff charged across rounds.
+	BackoffTicks uint64
+}
+
+// Add accumulates another mote's recovery accounting.
+func (a *ARQStats) Add(o ARQStats) {
+	a.Rounds += o.Rounds
+	a.Nacked += o.Nacked
+	a.Retransmissions += o.Retransmissions
+	a.Recovered += o.Recovered
+	a.Unrecovered += o.Unrecovered
+	a.BackoffTicks += o.BackoffTicks
+}
+
+// TransmitARQ pushes one mote's packetized upload through the channel
+// with selective-repeat recovery. frames must be the mote's packet frames
+// in sequence order (frame i carries sequence number i, as Packetize
+// produces); delivered frames — including corrupt ones the base station
+// will reject, and late duplicates — are returned in arrival order. With
+// ARQ disabled this is exactly TransmitFrames.
+func (lc LinkConfig) TransmitARQ(frames [][]byte, rng *stats.RNG) ([][]byte, LinkStats, ARQStats) {
+	delivered, st := lc.TransmitFrames(frames, rng)
+	var ast ARQStats
+	if !lc.ARQ.Enabled() || len(frames) == 0 {
+		return delivered, st, ast
+	}
+
+	// The base station's receive window: which sequences have arrived
+	// intact (decodable, CRC passing) so far.
+	intact := make([]bool, len(frames))
+	mark := func(batch [][]byte) {
+		for _, f := range batch {
+			var p trace.Packet
+			if p.UnmarshalBinary(f) == nil && int(p.Seq) < len(intact) {
+				intact[p.Seq] = true
+			}
+		}
+	}
+	missing := func() []int {
+		var m []int
+		for s, ok := range intact {
+			if !ok {
+				m = append(m, s)
+			}
+		}
+		return m
+	}
+	mark(delivered)
+	m := missing()
+	initialMissing := len(m)
+
+	base := lc.ARQ.BackoffBaseTicks
+	if base == 0 {
+		base = 64
+	}
+	for round := 1; round <= lc.ARQ.MaxRetries && len(m) > 0; round++ {
+		ast.Rounds++
+		ast.Nacked += len(m)
+		ast.BackoffTicks += base << uint(round-1)
+		resend := make([][]byte, len(m))
+		for i, s := range m {
+			resend[i] = frames[s]
+		}
+		ast.Retransmissions += len(resend)
+		// LinkStats.Sent ends up counting every transmission, resends
+		// included — goodput is measured against radio airtime.
+		d, rst := lc.TransmitFrames(resend, rng)
+		st.Add(rst)
+		delivered = append(delivered, d...)
+		mark(d)
+		m = missing()
+	}
+	ast.Recovered = initialMissing - len(m)
+	ast.Unrecovered = len(m)
+	return delivered, st, ast
+}

@@ -12,9 +12,11 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"codetomo/internal/fault"
 	"codetomo/internal/isa"
 	"codetomo/internal/mote"
 	"codetomo/internal/stats"
@@ -50,6 +52,10 @@ type SimConfig struct {
 	Workers int
 	// Link is the radio channel every mote uploads through.
 	Link LinkConfig
+	// Faults is the fault environment: crash/reboot schedules and sensor
+	// faults, derived per mote from the fault seed. The zero value is a
+	// healthy deployment.
+	Faults fault.Config
 }
 
 // MoteUpload is what the base station holds for one mote after its upload:
@@ -57,10 +63,14 @@ type SimConfig struct {
 // for evaluation (a real deployment would not have it).
 type MoteUpload struct {
 	Spec MoteSpec
-	// Packets are the link's deliveries, in arrival order.
-	Packets []trace.Packet
-	// Link counts what happened on the channel.
+	// Frames are the link's deliveries in arrival order: raw bytes,
+	// because corruption happens to bytes — the base station finds out
+	// what survived only by decoding.
+	Frames [][]byte
+	// Link counts what happened on the channel; ARQ counts what recovery
+	// cost.
 	Link LinkStats
+	ARQ  ARQStats
 	// EventsLogged is the mote-side trace length before packetization.
 	EventsLogged int
 	// BranchStats is the simulator's ground truth for this mote.
@@ -119,33 +129,63 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 	mc.Sensor = sensor
 	mc.Entropy = workload.NewEntropy(stats.NewRNG(spec.Seed + 7919))
 	mc.ClockOffsetTicks = spec.ClockOffsetTicks
+	if cfg.Faults.Enabled() {
+		mc.Resets = cfg.Faults.Resets(cfg.MaxCycles, int64(spec.ID))
+		mc.Sensor = cfg.Faults.WrapSensor(mc.Sensor, int64(spec.ID))
+	}
 	m := mote.New(cfg.Prog, mc)
 	if err := m.Run(cfg.MaxCycles); err != nil {
-		return MoteUpload{}, err
+		// Under fault injection a mote that never finishes its campaign —
+		// crash-looping past the cycle budget, or filling the trace buffer
+		// re-running work — is an expected outcome, not a failure: the
+		// base station works with whatever was logged before the window
+		// closed. Anything else (or any error on a healthy fleet) is a
+		// real bug and aborts.
+		expected := cfg.Faults.Enabled() &&
+			(errors.Is(err, mote.ErrCycleBudget) || errors.Is(err, mote.ErrTraceOverflow))
+		if !expected {
+			return MoteUpload{}, err
+		}
 	}
 
 	events := m.Trace()
 	pkts := trace.Packetize(spec.ID, events, cfg.Link.EventsPerPacket)
+	if cfg.Link.PacketVersion == trace.PacketVersionLegacy {
+		for i := range pkts {
+			pkts[i].Version = trace.PacketVersionLegacy
+		}
+	}
+	frames := make([][]byte, len(pkts))
+	for i := range pkts {
+		b, err := pkts[i].MarshalBinary()
+		if err != nil {
+			return MoteUpload{}, err
+		}
+		frames[i] = b
+	}
 	// The channel RNG derives from the link seed and the mote identity so
 	// each mote sees an independent but reproducible channel.
-	delivered, ls := cfg.Link.Transmit(pkts, stats.NewRNG(cfg.Link.Seed+int64(spec.ID)*6151+1))
+	delivered, ls, ast := cfg.Link.TransmitARQ(frames, stats.NewRNG(cfg.Link.Seed+int64(spec.ID)*6151+1))
 	return MoteUpload{
 		Spec:         spec,
-		Packets:      delivered,
+		Frames:       delivered,
 		Link:         ls,
+		ARQ:          ast,
 		EventsLogged: len(events),
 		BranchStats:  m.BranchStats(),
 		Stats:        m.Stats(),
 	}, nil
 }
 
-// Reassemble runs one mote's delivered packets through the loss-tolerant
+// Reassemble runs one mote's delivered frames through the loss-tolerant
 // reassembler and returns the surviving invocation intervals with the
-// uplink accounting.
+// uplink accounting. Frames the channel corrupted are rejected (and
+// counted) at this boundary — the CRC check happens where a real base
+// station would run it, on the received bytes.
 func Reassemble(up MoteUpload) ([]trace.Interval, trace.UplinkStats, error) {
 	r := trace.NewReassembler(up.Spec.ID)
-	for _, p := range up.Packets {
-		if err := r.Add(p); err != nil {
+	for _, f := range up.Frames {
+		if err := r.AddFrame(f); err != nil {
 			return nil, trace.UplinkStats{}, fmt.Errorf("fleet: mote %d: %w", up.Spec.ID, err)
 		}
 	}

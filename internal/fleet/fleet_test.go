@@ -78,7 +78,7 @@ func TestSimulateLossless(t *testing.T) {
 		if up.Spec.ID != uint16(i) {
 			t.Fatalf("upload %d has mote ID %d: order not preserved", i, up.Spec.ID)
 		}
-		if up.EventsLogged == 0 || len(up.Packets) == 0 {
+		if up.EventsLogged == 0 || len(up.Frames) == 0 {
 			t.Fatalf("mote %d logged nothing", i)
 		}
 		if up.Link.Dropped != 0 || up.Link.Duplicated != 0 {
@@ -126,8 +126,8 @@ func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
 		if a.Link != b.Link || a.EventsLogged != b.EventsLogged {
 			t.Fatalf("mote %d differs across worker counts: %+v vs %+v", i, a.Link, b.Link)
 		}
-		if !reflect.DeepEqual(a.Packets, b.Packets) {
-			t.Fatalf("mote %d delivered different packet streams", i)
+		if !reflect.DeepEqual(a.Frames, b.Frames) {
+			t.Fatalf("mote %d delivered different frame streams", i)
 		}
 		if !reflect.DeepEqual(a.BranchStats, b.BranchStats) {
 			t.Fatalf("mote %d branch stats differ", i)
@@ -179,20 +179,190 @@ func TestTransmitLossyDeterministic(t *testing.T) {
 	}
 }
 
+// With ReorderProb = 1 every draw fires, and the skip-after-swap rule
+// must yield pairwise swaps — not a cascade carrying element 0 to the end.
+func TestReorderPassNoCascade(t *testing.T) {
+	out := []int{0, 1, 2, 3}
+	swaps := reorderPass(out, 1, stats.NewRNG(1))
+	want := []int{1, 0, 3, 2}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("reorderPass cascaded: got %v, want %v", out, want)
+	}
+	if swaps != 2 {
+		t.Fatalf("swaps = %d, want 2", swaps)
+	}
+}
+
+func syntheticFrames(t *testing.T, n int) [][]byte {
+	t.Helper()
+	events, _ := syntheticEvents(n)
+	pkts := trace.Packetize(1, events, 4)
+	frames := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		f, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+func TestTransmitFramesCorruption(t *testing.T) {
+	frames := syntheticFrames(t, 60)
+	lc := LinkConfig{CorruptProb: 0.5}
+
+	out1, st1 := lc.TransmitFrames(frames, stats.NewRNG(7))
+	out2, st2 := lc.TransmitFrames(frames, stats.NewRNG(7))
+	if st1 != st2 || !reflect.DeepEqual(out1, out2) {
+		t.Fatal("same seed produced different channels")
+	}
+	if st1.Corrupted == 0 {
+		t.Fatalf("corruption never fired: %+v", st1)
+	}
+	if len(out1) != len(frames) {
+		t.Fatalf("corruption-only channel changed frame count: %d vs %d", len(out1), len(frames))
+	}
+	// Every corrupted frame must be caught by the CRC on decode, and the
+	// reassembler must count it as corrupt — not as a drop (satellite:
+	// corrupted-packet accounting).
+	r := trace.NewReassembler(1)
+	for _, f := range out1 {
+		if err := r.AddFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ust := r.Recover()
+	if ust.PacketsCorrupted != st1.Corrupted {
+		t.Fatalf("reassembler counted %d corrupt, channel corrupted %d", ust.PacketsCorrupted, st1.Corrupted)
+	}
+	if ust.PacketsDelivered != len(frames)-st1.Corrupted {
+		t.Fatalf("delivered %d, want %d", ust.PacketsDelivered, len(frames)-st1.Corrupted)
+	}
+
+	// Corruption must not mutate the sender's copy of the frame.
+	clean := syntheticFrames(t, 60)
+	for i := range frames {
+		if !reflect.DeepEqual(frames[i], clean[i]) {
+			t.Fatalf("TransmitFrames mutated source frame %d", i)
+		}
+	}
+}
+
+// With CorruptProb = 0 the frame-level channel must make exactly the same
+// RNG draws as the packet-level one, so both views of one (seed, stream)
+// pair agree.
+func TestTransmitFramesMatchesTransmit(t *testing.T) {
+	events, _ := syntheticEvents(50)
+	pkts := trace.Packetize(1, events, 4)
+	frames := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		f, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	lc := LinkConfig{DropProb: 0.3, DupProb: 0.2, ReorderProb: 0.2}
+	outP, stP := lc.Transmit(pkts, stats.NewRNG(5))
+	outF, stF := lc.TransmitFrames(frames, stats.NewRNG(5))
+	if stP != stF {
+		t.Fatalf("stats diverge: packets %+v, frames %+v", stP, stF)
+	}
+	if len(outP) != len(outF) {
+		t.Fatalf("stream lengths diverge: %d vs %d", len(outP), len(outF))
+	}
+	for i := range outF {
+		var p trace.Packet
+		if err := p.UnmarshalBinary(outF[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, outP[i]) {
+			t.Fatalf("frame %d decodes to %+v, packet channel gave %+v", i, p, outP[i])
+		}
+	}
+}
+
+func TestTransmitARQRecovers(t *testing.T) {
+	frames := syntheticFrames(t, 80)
+	lc := LinkConfig{
+		DropProb:    0.3,
+		CorruptProb: 0.1,
+		ARQ:         ARQConfig{MaxRetries: 8, BackoffBaseTicks: 64},
+	}
+	delivered, st, ast := lc.TransmitARQ(frames, stats.NewRNG(11))
+
+	if ast.Rounds == 0 || ast.Retransmissions == 0 {
+		t.Fatalf("lossy channel needed no ARQ rounds: %+v", ast)
+	}
+	if ast.Unrecovered != 0 {
+		t.Fatalf("8 retries failed to recover %d sequences (link %+v)", ast.Unrecovered, st)
+	}
+	// Every sequence number must have arrived intact at least once.
+	got := map[uint32]bool{}
+	for _, f := range delivered {
+		var p trace.Packet
+		if p.UnmarshalBinary(f) == nil {
+			got[p.Seq] = true
+		}
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("ARQ delivered %d/%d distinct sequences", len(got), len(frames))
+	}
+	// Sent counts every transmission including resends: goodput is against
+	// radio airtime.
+	if st.Sent != len(frames)+ast.Retransmissions {
+		t.Fatalf("Sent = %d, want %d initial + %d resends", st.Sent, len(frames), ast.Retransmissions)
+	}
+	wantBackoff := uint64(0)
+	for r := 1; r <= ast.Rounds; r++ {
+		wantBackoff += 64 << uint(r-1)
+	}
+	if ast.BackoffTicks != wantBackoff {
+		t.Fatalf("BackoffTicks = %d, want %d over %d rounds", ast.BackoffTicks, wantBackoff, ast.Rounds)
+	}
+
+	// Determinism: same seed, same everything.
+	d2, st2, ast2 := lc.TransmitARQ(frames, stats.NewRNG(11))
+	if st != st2 || ast != ast2 || !reflect.DeepEqual(delivered, d2) {
+		t.Fatal("ARQ is not deterministic under a fixed seed")
+	}
+
+	// ARQ disabled: identical to TransmitFrames.
+	plain := LinkConfig{DropProb: 0.3, CorruptProb: 0.1}
+	dP, stP := plain.TransmitFrames(frames, stats.NewRNG(11))
+	dA, stA, astA := plain.TransmitARQ(frames, stats.NewRNG(11))
+	if stP != stA || astA != (ARQStats{}) || !reflect.DeepEqual(dP, dA) {
+		t.Fatal("disabled ARQ does not reduce to TransmitFrames")
+	}
+}
+
 func TestLinkConfigValidate(t *testing.T) {
 	bad := []LinkConfig{
 		{DropProb: -0.1},
 		{DupProb: 1.5},
 		{ReorderProb: 2},
+		{CorruptProb: -0.2},
 		{EventsPerPacket: -1},
+		{PacketVersion: 3},
+		{ARQ: ARQConfig{MaxRetries: -1}},
+		// ARQ needs checksums to know what to NACK.
+		{PacketVersion: trace.PacketVersionLegacy, ARQ: ARQConfig{MaxRetries: 3}},
 	}
 	for i, lc := range bad {
 		if lc.Validate() == nil {
 			t.Errorf("case %d: invalid link config accepted: %+v", i, lc)
 		}
 	}
-	if err := (LinkConfig{DropProb: 0.5, EventsPerPacket: 16}).Validate(); err != nil {
-		t.Errorf("valid config rejected: %v", err)
+	good := []LinkConfig{
+		{DropProb: 0.5, EventsPerPacket: 16},
+		{CorruptProb: 0.2, PacketVersion: trace.PacketVersionCRC, ARQ: ARQConfig{MaxRetries: 4}},
+		{PacketVersion: trace.PacketVersionLegacy},
+	}
+	for i, lc := range good {
+		if err := lc.Validate(); err != nil {
+			t.Errorf("case %d: valid config rejected: %v", i, err)
+		}
 	}
 }
 

@@ -8,10 +8,10 @@ import (
 )
 
 // LinkConfig models the radio channel between a mote and the base
-// station. Each packet is independently dropped, duplicated, or swapped
-// with its successor; all three are Bernoulli draws from a seeded RNG, so
-// a given (seed, packet stream) pair always produces the same channel
-// behaviour.
+// station. Each transmission is independently dropped, corrupted (one bit
+// flipped), duplicated, or swapped with its successor; all draws come from
+// a seeded RNG, so a given (seed, frame stream) pair always produces the
+// same channel behaviour.
 type LinkConfig struct {
 	// DropProb is the per-packet loss probability in [0, 1].
 	DropProb float64
@@ -20,13 +20,26 @@ type LinkConfig struct {
 	// ReorderProb is the per-packet probability of being swapped with the
 	// next surviving packet, in [0, 1].
 	ReorderProb float64
+	// CorruptProb is the per-transmission probability, in [0, 1], of a
+	// single-bit flip somewhere in the frame. CRC-carrying v2 frames let
+	// the base station reject the damage; v1 frames decode silently wrong
+	// (or fail framing checks if the flip lands in the header).
+	CorruptProb float64
 	// EventsPerPacket is the packetization batch size (0 = default).
 	EventsPerPacket int
+	// PacketVersion selects the uplink wire format:
+	// trace.PacketVersionCRC (the default when 0) or
+	// trace.PacketVersionLegacy for pre-CRC captures.
+	PacketVersion int
+	// ARQ configures selective-repeat recovery; the zero value disables
+	// it.
+	ARQ ARQConfig
 	// Seed drives the channel RNG.
 	Seed int64
 }
 
-// Validate rejects probabilities outside [0, 1].
+// Validate rejects probabilities outside [0, 1] and inconsistent
+// recovery configurations.
 func (lc LinkConfig) Validate() error {
 	check := func(name string, p float64) error {
 		if p < 0 || p > 1 {
@@ -43,8 +56,23 @@ func (lc LinkConfig) Validate() error {
 	if err := check("ReorderProb", lc.ReorderProb); err != nil {
 		return err
 	}
+	if err := check("CorruptProb", lc.CorruptProb); err != nil {
+		return err
+	}
 	if lc.EventsPerPacket < 0 {
 		return fmt.Errorf("fleet: link EventsPerPacket = %d, must be >= 0", lc.EventsPerPacket)
+	}
+	switch lc.PacketVersion {
+	case 0, trace.PacketVersionLegacy, trace.PacketVersionCRC:
+	default:
+		return fmt.Errorf("fleet: link PacketVersion = %d, must be %d or %d",
+			lc.PacketVersion, trace.PacketVersionLegacy, trace.PacketVersionCRC)
+	}
+	if lc.ARQ.MaxRetries < 0 {
+		return fmt.Errorf("fleet: link ARQ.MaxRetries = %d, must be >= 0", lc.ARQ.MaxRetries)
+	}
+	if lc.ARQ.Enabled() && lc.PacketVersion == trace.PacketVersionLegacy {
+		return fmt.Errorf("fleet: ARQ requires the CRC packet format (PacketVersion %d): without checksums the base station cannot tell an intact packet from a corrupt one to NACK", trace.PacketVersionCRC)
 	}
 	return nil
 }
@@ -53,14 +81,26 @@ func (lc LinkConfig) Validate() error {
 type LinkStats struct {
 	Sent       int
 	Dropped    int
+	Corrupted  int
 	Duplicated int
 	Reordered  int
 }
 
-// Transmit pushes a packet stream through the channel: drops first, then
-// duplication, then adjacent swaps among the survivors. The draws happen
-// in a fixed order per packet so the outcome is a deterministic function
-// of the RNG seed and the stream.
+// Add accumulates another mote's (or another round's) channel accounting.
+func (st *LinkStats) Add(o LinkStats) {
+	st.Sent += o.Sent
+	st.Dropped += o.Dropped
+	st.Corrupted += o.Corrupted
+	st.Duplicated += o.Duplicated
+	st.Reordered += o.Reordered
+}
+
+// Transmit pushes a decoded packet stream through the channel: drops
+// first, then duplication, then adjacent swaps among the survivors. The
+// draws happen in a fixed order per packet so the outcome is a
+// deterministic function of the RNG seed and the stream. Bit corruption is
+// a property of the byte stream and is not modeled here — use
+// TransmitFrames for the physical channel.
 func (lc LinkConfig) Transmit(pkts []trace.Packet, rng *stats.RNG) ([]trace.Packet, LinkStats) {
 	st := LinkStats{Sent: len(pkts)}
 	out := make([]trace.Packet, 0, len(pkts))
@@ -75,14 +115,74 @@ func (lc LinkConfig) Transmit(pkts []trace.Packet, rng *stats.RNG) ([]trace.Pack
 			out = append(out, p)
 		}
 	}
-	for i := 0; i+1 < len(out); i++ {
-		if rng.Bernoulli(lc.ReorderProb) {
-			out[i], out[i+1] = out[i+1], out[i]
-			st.Reordered++
-		}
-	}
+	st.Reordered = reorderPass(out, lc.ReorderProb, rng)
 	if len(out) == 0 {
 		return nil, st
 	}
 	return out, st
+}
+
+// TransmitFrames pushes raw frames through the channel. Per frame: a drop
+// draw, then (only when CorruptProb > 0) a corruption draw flipping one
+// random bit, then a duplication draw — the duplicate gets its own
+// corruption draw, since it is a separate radio transmission — and
+// finally adjacent swaps among the survivors. With CorruptProb = 0 the
+// draw sequence is identical to Transmit's, so the packet-level and
+// byte-level views of the channel agree.
+func (lc LinkConfig) TransmitFrames(frames [][]byte, rng *stats.RNG) ([][]byte, LinkStats) {
+	st := LinkStats{Sent: len(frames)}
+	out := make([][]byte, 0, len(frames))
+	deliver := func(f []byte) {
+		if lc.CorruptProb > 0 && rng.Bernoulli(lc.CorruptProb) {
+			f = flipBit(f, rng)
+			st.Corrupted++
+		}
+		out = append(out, f)
+	}
+	for _, f := range frames {
+		if rng.Bernoulli(lc.DropProb) {
+			st.Dropped++
+			continue
+		}
+		deliver(f)
+		if rng.Bernoulli(lc.DupProb) {
+			st.Duplicated++
+			deliver(f)
+		}
+	}
+	st.Reordered = reorderPass(out, lc.ReorderProb, rng)
+	if len(out) == 0 {
+		return nil, st
+	}
+	return out, st
+}
+
+// reorderPass swaps each surviving packet with its successor on a
+// Bernoulli draw. After a swap the cursor skips the swapped-in element so
+// one draw displaces a packet by at most one slot — without the skip a
+// single unlucky packet would cascade toward the end of the stream,
+// violating the documented "swapped with its successor" semantics.
+func reorderPass[T any](out []T, prob float64, rng *stats.RNG) int {
+	swaps := 0
+	for i := 0; i+1 < len(out); i++ {
+		if rng.Bernoulli(prob) {
+			out[i], out[i+1] = out[i+1], out[i]
+			swaps++
+			i++
+		}
+	}
+	return swaps
+}
+
+// flipBit returns a copy of the frame with one uniformly-chosen bit
+// flipped. The copy matters: duplicated frames share backing storage, and
+// corruption must damage one transmission, not both.
+func flipBit(frame []byte, rng *stats.RNG) []byte {
+	if len(frame) == 0 {
+		return frame
+	}
+	out := append([]byte(nil), frame...)
+	bit := rng.Intn(len(out) * 8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
 }

@@ -1,12 +1,37 @@
 package fleet
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"codetomo/internal/report"
 	"codetomo/internal/trace"
 )
+
+// MoteUplink is one mote's radio accounting for the per-mote breakdown:
+// what it transmitted (ARQ resends included), what the base station could
+// actually use, and what faults it took.
+type MoteUplink struct {
+	ID uint16
+	// Resets counts fault-injected reboots the mote took mid-campaign.
+	Resets uint64
+	// Sent counts transmissions including ARQ resends; Delivered counts
+	// distinct packets reassembled; Corrupted counts frames the base
+	// station rejected.
+	Sent, Delivered, Corrupted int
+	// Retransmissions and Recovered are the mote's ARQ effort and payoff.
+	Retransmissions, Recovered int
+}
+
+// Goodput is the fraction of radio transmissions that became usable
+// distinct packets at the base station.
+func (m MoteUplink) Goodput() float64 {
+	if m.Sent == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / float64(m.Sent)
+}
 
 // Stats is the fleet run's observability record: what the radios did, what
 // the base station recovered, and what estimation cost. Wall times are the
@@ -18,6 +43,12 @@ type Stats struct {
 	Link LinkStats
 	// Uplink sums the base-station-side accounting over all motes.
 	Uplink trace.UplinkStats
+	// ARQ sums the recovery protocol's accounting over all motes.
+	ARQ ARQStats
+	// Resets counts fault-injected reboots across the fleet.
+	Resets uint64
+	// PerMote is the per-mote uplink breakdown, in mote order.
+	PerMote []MoteUplink
 	// EventsLogged is the total mote-side trace length before the radio.
 	EventsLogged int
 	// SamplesPerProc counts the duration samples that reached each
@@ -31,6 +62,12 @@ type Stats struct {
 	// of EstimatedProcs.
 	ConvergedProcs int
 	EstimatedProcs int
+	// TrimmedSamples counts observations the robust estimator discarded
+	// as model-implausible outliers; LowConfidenceProcs counts estimated
+	// procedures whose layout fell back to the baseline because the
+	// estimate was not trusted.
+	TrimmedSamples     int
+	LowConfidenceProcs int
 	// Per-stage wall clock.
 	SimWall      time.Duration
 	UplinkWall   time.Duration
@@ -41,12 +78,15 @@ type Stats struct {
 func (s Stats) Tables() []*report.Table {
 	uplink := report.KV("Fleet uplink",
 		[2]string{"motes", report.I(s.Motes)},
+		[2]string{"mote resets (watchdog/brownout)", report.I(int(s.Resets))},
 		[2]string{"events logged", report.I(s.EventsLogged)},
 		[2]string{"packets sent", report.I(s.Link.Sent)},
 		[2]string{"packets dropped", report.I(s.Link.Dropped)},
+		[2]string{"packets corrupted (channel)", report.I(s.Link.Corrupted)},
 		[2]string{"packets duplicated", report.I(s.Link.Duplicated)},
 		[2]string{"packets reordered", report.I(s.Link.Reordered)},
 		[2]string{"packets delivered", report.I(s.Uplink.PacketsDelivered)},
+		[2]string{"packets rejected (CRC/framing)", report.I(s.Uplink.PacketsCorrupted)},
 		[2]string{"packets lost (observed)", report.I(s.Uplink.PacketsLost)},
 		[2]string{"events delivered", report.I(s.Uplink.EventsDelivered)},
 		[2]string{"invocations recovered", report.I(s.Uplink.InvocationsRecovered)},
@@ -55,12 +95,39 @@ func (s Stats) Tables() []*report.Table {
 	est := report.KV("Fleet estimation",
 		[2]string{"procedures estimated", report.I(s.EstimatedProcs)},
 		[2]string{"procedures converged early", report.I(s.ConvergedProcs)},
+		[2]string{"procedures low-confidence", report.I(s.LowConfidenceProcs)},
+		[2]string{"samples trimmed (robust)", report.I(s.TrimmedSamples)},
 		[2]string{"estimation rounds", report.I(s.Rounds)},
 		[2]string{"EM iterations", report.I(s.Iterations)},
 		[2]string{"simulate wall", s.SimWall.String()},
 		[2]string{"uplink wall", s.UplinkWall.String()},
 		[2]string{"estimate wall", s.EstimateWall.String()},
 	)
+	out := []*report.Table{uplink}
+	if s.ARQ != (ARQStats{}) {
+		out = append(out, report.KV("Fleet ARQ",
+			[2]string{"retransmission rounds", report.I(s.ARQ.Rounds)},
+			[2]string{"sequences NACKed", report.I(s.ARQ.Nacked)},
+			[2]string{"frames retransmitted", report.I(s.ARQ.Retransmissions)},
+			[2]string{"packets recovered", report.I(s.ARQ.Recovered)},
+			[2]string{"packets unrecovered", report.I(s.ARQ.Unrecovered)},
+			[2]string{"backoff ticks charged", report.I(int(s.ARQ.BackoffTicks))},
+		))
+	}
+	out = append(out, est)
+	if len(s.PerMote) > 0 {
+		pm := &report.Table{
+			Title:  "Per-mote uplink",
+			Header: []string{"mote", "resets", "sent", "delivered", "rejected", "retrans", "recovered", "goodput"},
+		}
+		for _, m := range s.PerMote {
+			pm.AddRow(report.I(int(m.ID)), report.I(int(m.Resets)), report.I(m.Sent),
+				report.I(m.Delivered), report.I(m.Corrupted),
+				report.I(m.Retransmissions), report.I(m.Recovered),
+				fmt.Sprintf("%.1f%%", 100*m.Goodput()))
+		}
+		out = append(out, pm)
+	}
 	samples := &report.Table{Title: "Fleet samples per procedure", Header: []string{"proc", "samples"}}
 	names := make([]string, 0, len(s.SamplesPerProc))
 	for name := range s.SamplesPerProc {
@@ -70,5 +137,5 @@ func (s Stats) Tables() []*report.Table {
 	for _, name := range names {
 		samples.AddRow(name, report.I(s.SamplesPerProc[name]))
 	}
-	return []*report.Table{uplink, est, samples}
+	return append(out, samples)
 }

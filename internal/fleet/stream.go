@@ -72,6 +72,11 @@ type ProcOutcome struct {
 	// Converged reports the estimate stopped moving before the stream
 	// ended.
 	Converged bool
+	// Trimmed is how many samples the robust estimator discarded as
+	// outliers (0 for non-robust estimators); Confident is its verdict on
+	// whether the estimate should be acted on (always true otherwise).
+	Trimmed   int
+	Confident bool
 }
 
 // EstimateStreams runs streaming estimation for every procedure in
@@ -103,6 +108,8 @@ func EstimateStreams(streams []ProcStream, est tomography.Estimator, tol float64
 				Iterations:  inc.Iterations(),
 				SampleCount: inc.SampleCount(),
 				Converged:   inc.Converged(),
+				Trimmed:     inc.Trimmed(),
+				Confident:   inc.Confident(),
 			}
 		}(i, s)
 	}

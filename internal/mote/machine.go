@@ -51,6 +51,25 @@ type TraceEvent struct {
 	Tick uint64
 }
 
+// EpochMarkID is the reserved trace ID logged when the machine reboots
+// after a fault-injected reset. Compiler-generated TRACE ids are
+// non-negative, so decoders can treat the marker as an epoch boundary:
+// invocation frames open at the crash can never complete and must be
+// flushed rather than matched against post-reboot events.
+const EpochMarkID int32 = -1
+
+// ResetEvent schedules one fault-injected reset. When the cycle counter
+// reaches AtCycle the CPU reboots: pc, sp, registers, and RAM are cleared
+// and execution restarts at the reset vector (which re-runs global
+// initialization) after DownCycles of dead time. The trace buffer models
+// the mote's flash/radio journal and survives the reset, with an
+// EpochMarkID record separating the epochs. Package fault derives these
+// schedules deterministically from a seed.
+type ResetEvent struct {
+	AtCycle    uint64
+	DownCycles uint64
+}
+
 // BranchStat accumulates ground-truth outcome counts for one static
 // conditional branch, keyed by its program address.
 type BranchStat struct {
@@ -72,6 +91,10 @@ type Stats struct {
 	RadioWords    uint64
 	LEDWrites     uint64
 	SensorReads   uint64
+	// Resets counts fault-injected reboots taken; DownCycles is the total
+	// dead time they cost (included in Cycles).
+	Resets     uint64
+	DownCycles uint64
 }
 
 // Config sets the machine's architectural parameters.
@@ -92,6 +115,10 @@ type Config struct {
 	// differences, so the offset shifts logged timestamps without touching
 	// measured durations.
 	ClockOffsetTicks uint64
+	// Resets schedules fault-injected watchdog resets and brownouts, in
+	// ascending AtCycle order (package fault builds these deterministically
+	// from a seed). Empty means a healthy mote.
+	Resets []ResetEvent
 	// Sensor and Entropy feed the ADC and RNG ports.
 	Sensor  SampleSource
 	Entropy SampleSource
@@ -118,7 +145,8 @@ type Machine struct {
 	regs [16]uint16
 	mem  []uint16
 
-	halted bool
+	halted   bool
+	resetIdx int // next pending entry of cfg.Resets
 
 	// Peripherals.
 	ledState   uint16
@@ -231,9 +259,15 @@ func (m *Machine) Run(maxCycles uint64) error {
 	return nil
 }
 
-// Step executes a single instruction.
+// Step executes a single instruction, or takes a pending fault-injected
+// reset when its scheduled cycle has been reached.
 func (m *Machine) Step() error {
 	if m.halted {
+		return nil
+	}
+	if m.resetIdx < len(m.cfg.Resets) && m.stats.Cycles >= m.cfg.Resets[m.resetIdx].AtCycle {
+		m.reboot(m.cfg.Resets[m.resetIdx].DownCycles)
+		m.resetIdx++
 		return nil
 	}
 	if m.pc < 0 || int(m.pc) >= len(m.prog) {
@@ -425,6 +459,29 @@ func (m *Machine) Step() error {
 	m.stats.Cycles += cost
 	m.pc = nextPC
 	return nil
+}
+
+// reboot models a watchdog reset or brownout recovery: the CPU and RAM
+// lose all state and execution restarts at the reset vector (pc 0, where
+// the startup stub re-runs global initialization) after downCycles of
+// dead time. The trace buffer models the flash/radio journal, which
+// survives resets; an EpochMarkID record separates the epochs so decoders
+// never pair an enter logged before the crash with an exit logged after.
+func (m *Machine) reboot(downCycles uint64) {
+	m.pc = 0
+	m.sp = int32(m.cfg.RAMWords)
+	m.regs = [16]uint16{}
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.radioBuf = m.radioBuf[:0]
+	m.ledState = 0
+	m.stats.Cycles += downCycles
+	m.stats.Resets++
+	m.stats.DownCycles += downCycles
+	if len(m.trace) < m.cfg.MaxTraceEvents {
+		m.trace = append(m.trace, TraceEvent{ID: EpochMarkID, Tick: m.Tick()})
+	}
 }
 
 func boolWord(b bool) uint16 {

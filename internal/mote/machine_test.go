@@ -321,6 +321,72 @@ func TestFaults(t *testing.T) {
 	}
 }
 
+// A scheduled watchdog reset reboots the CPU mid-run: the trace buffer
+// keeps both epochs separated by an EpochMarkID record, the clock keeps
+// advancing through the dead time, and the program re-runs from the reset
+// vector.
+func TestWatchdogResetTraceEpochs(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.TRACE, Imm: 0}, // enter proc 0
+		{Op: isa.NOP}, {Op: isa.NOP}, {Op: isa.NOP}, {Op: isa.NOP},
+		{Op: isa.TRACE, Imm: 1}, // exit proc 0
+		{Op: isa.HALT},
+	}
+	cfg := DefaultConfig()
+	// Fires during the NOP run, truncating the first invocation.
+	cfg.Resets = []ResetEvent{{AtCycle: 7, DownCycles: 1000}}
+	m := New(prog, cfg)
+	if err := m.Run(100_000); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	st := m.Stats()
+	if st.Resets != 1 || st.DownCycles != 1000 {
+		t.Fatalf("Resets = %d, DownCycles = %d", st.Resets, st.DownCycles)
+	}
+	tr := m.Trace()
+	ids := make([]int32, len(tr))
+	for i, ev := range tr {
+		ids[i] = ev.ID
+	}
+	want := []int32{0, EpochMarkID, 0, 1}
+	if len(ids) != len(want) {
+		t.Fatalf("trace ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("trace ids = %v, want %v", ids, want)
+		}
+	}
+	// The dead time advances the clock: the re-run starts after the mark.
+	if tr[2].Tick <= tr[0].Tick {
+		t.Fatalf("post-reboot enter at tick %d, pre-crash enter at %d", tr[2].Tick, tr[0].Tick)
+	}
+}
+
+// Reboot must clear RAM, not just the program counter: this program HALTs
+// only if a flag it stored before the crash survives into the next epoch.
+// A correct reset makes it spin forever and exhaust the cycle budget.
+func TestWatchdogResetClearsMemory(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.LD, Rd: 1, Imm: 100}, // r1 = mem[100]
+		{Op: isa.BNZ, Ra: 1, Imm: 5},  // flag survived a reboot → HALT
+		{Op: isa.LDI, Rd: 2, Imm: 1},  //
+		{Op: isa.ST, Imm: 100, Rb: 2}, // mem[100] = 1
+		{Op: isa.JMP, Imm: 4},         // spin until the watchdog fires
+		{Op: isa.HALT},
+	}
+	cfg := DefaultConfig()
+	cfg.Resets = []ResetEvent{{AtCycle: 50, DownCycles: 10}}
+	m := New(prog, cfg)
+	err := m.Run(10_000)
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget (nil means RAM survived the reboot)", err)
+	}
+	if m.Stats().Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", m.Stats().Resets)
+	}
+}
+
 func TestCycleBudget(t *testing.T) {
 	prog := []isa.Instr{{Op: isa.JMP, Imm: 0}}
 	m := New(prog, DefaultConfig())

@@ -30,6 +30,8 @@ type Incremental struct {
 	calm       int
 	converged  bool
 	iterations int
+	trimmed    int
+	confident  bool
 }
 
 // NewIncremental builds a streaming estimator for one procedure. tol <= 0
@@ -41,7 +43,9 @@ func NewIncremental(m *Model, est Estimator, tol float64, patience int) *Increme
 	if patience <= 0 {
 		patience = 2
 	}
-	return &Incremental{Model: m, Est: est, Tol: tol, Patience: patience}
+	// Estimators without a confidence notion are trusted as before; only
+	// the robust estimator can revoke confidence.
+	return &Incremental{Model: m, Est: est, Tol: tol, Patience: patience, confident: true}
 }
 
 // Observe folds one batch of duration samples into the stream and
@@ -62,13 +66,21 @@ func (inc *Incremental) Observe(batch []float64) (markov.EdgeProbs, error) {
 		probs markov.EdgeProbs
 		err   error
 	)
-	// Go through EstimateEM directly when the estimator is EM so the
-	// per-round iteration counts surface in fleet observability.
-	if em, ok := inc.Est.(EM); ok {
+	// Go through the stats-reporting entry points directly when the
+	// estimator supports them, so per-round iteration counts, trims, and
+	// confidence surface in fleet observability.
+	switch est := inc.Est.(type) {
+	case EM:
 		var st EMStats
-		probs, st, err = EstimateEM(inc.Model, inc.samples, em.Config)
+		probs, st, err = EstimateEM(inc.Model, inc.samples, est.Config)
 		inc.iterations += st.Iterations
-	} else {
+	case Robust:
+		var st RobustStats
+		probs, st, err = EstimateRobust(inc.Model, inc.samples, est.Config)
+		inc.iterations += st.EM.Iterations
+		inc.trimmed = st.Trimmed
+		inc.confident = st.Confident
+	default:
 		probs, err = inc.Est.Estimate(inc.Model, inc.samples)
 	}
 	if err != nil {
@@ -104,6 +116,16 @@ func (inc *Incremental) Iterations() int { return inc.iterations }
 
 // SampleCount returns how many samples have been absorbed.
 func (inc *Incremental) SampleCount() int { return len(inc.samples) }
+
+// Trimmed returns how many absorbed samples the robust estimator
+// discarded as outliers in its latest estimation round (always 0 for
+// non-robust estimators).
+func (inc *Incremental) Trimmed() int { return inc.trimmed }
+
+// Confident reports whether the latest estimate should be acted on:
+// always true for estimators without a confidence notion, and the robust
+// estimator's verdict otherwise.
+func (inc *Incremental) Confident() bool { return inc.confident }
 
 // Samples exposes the accumulated sample stream (read-only; callers must
 // not mutate it).

@@ -1,0 +1,182 @@
+package tomography
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// contaminate appends n absurd durations — the signature of
+// reboot-truncated invocations or corrupt-but-decodable ticks — to a clean
+// sample set.
+func contaminate(samples []float64, n int, at float64) []float64 {
+	out := append([]float64(nil), samples...)
+	for i := 0; i < n; i++ {
+		out = append(out, at+float64(i))
+	}
+	return out
+}
+
+func TestRobustMatchesEMOnCleanSamples(t *testing.T) {
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.3, 0.7)
+	samples := sampleDurations(t, m, truth, 3000, 1, 7)
+	cfg := RobustConfig{EM: EMConfig{KernelHalfWidth: 0.5}}
+	probs, st, err := EstimateRobust(m, samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of clean samples may exceed the model's loop-enumeration
+	// bound and be (correctly) treated as unexplainable; anything more
+	// means the trim window is wrong.
+	if st.Trimmed > 5 {
+		t.Fatalf("clean samples trimmed: %+v", st)
+	}
+	if !st.Confident {
+		t.Fatalf("clean estimate not confident: %+v", st)
+	}
+	if mae := branchMAE(t, m, probs, truth); mae > 0.02 {
+		t.Fatalf("robust MAE on clean samples = %v, want < 0.02", mae)
+	}
+}
+
+// The headline property: contamination plain EM cannot shrug off is
+// trimmed by the robust pass, which stays near the truth.
+func TestRobustResistsContamination(t *testing.T) {
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.3, 0.7)
+	clean := sampleDurations(t, m, truth, 2000, 1, 7)
+	// 15% contamination far past the longest path.
+	dirty := contaminate(clean, 300, 50_000)
+
+	plain, _, err := EstimateEM(m, dirty, EMConfig{KernelHalfWidth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, st, err := EstimateRobust(m, dirty, RobustConfig{EM: EMConfig{KernelHalfWidth: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trimmed < 300 || st.Trimmed > 305 {
+		t.Fatalf("Trimmed = %d, want the 300 injected outliers (+ at most a few beyond-enumeration cleans)", st.Trimmed)
+	}
+	if !st.Confident {
+		t.Fatalf("15%% trim should stay under the 25%% confidence gate: %+v", st)
+	}
+	plainMAE := branchMAE(t, m, plain, truth)
+	robustMAE := branchMAE(t, m, robust, truth)
+	if robustMAE > 0.03 {
+		t.Fatalf("robust MAE under contamination = %v, want < 0.03", robustMAE)
+	}
+	if plainMAE < 2*robustMAE {
+		t.Fatalf("contamination did not separate the estimators: plain %v, robust %v", plainMAE, robustMAE)
+	}
+}
+
+func TestRobustConfidenceGate(t *testing.T) {
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.4, 0.6)
+	clean := sampleDurations(t, m, truth, 500, 1, 13)
+	// 50% contamination: past MaxTrimFraction, so the estimate must be
+	// flagged rather than trusted.
+	dirty := contaminate(clean, 500, 80_000)
+	_, st, err := EstimateRobust(m, dirty, RobustConfig{EM: EMConfig{KernelHalfWidth: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Confident {
+		t.Fatalf("50%% trim reported confident: %+v", st)
+	}
+	if st.Trimmed != 500 {
+		t.Fatalf("Trimmed = %d, want 500", st.Trimmed)
+	}
+}
+
+// When every sample is implausible the estimator returns the uniform prior
+// unconfidently — a fault-ridden uplink is an operating condition, not a
+// caller bug.
+func TestRobustAllTrimmed(t *testing.T) {
+	m := syntheticModel(t)
+	samples := []float64{1e6, 2e6, 3e6}
+	probs, st, err := EstimateRobust(m, samples, RobustConfig{EM: EMConfig{KernelHalfWidth: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Confident || st.Trimmed != 3 || st.Kept != 0 {
+		t.Fatalf("all-trimmed stats: %+v", st)
+	}
+	if !reflect.DeepEqual(probs, m.InitialProbs()) {
+		t.Fatal("all-trimmed estimate is not the uniform prior")
+	}
+}
+
+func TestRobustNoSamples(t *testing.T) {
+	m := syntheticModel(t)
+	if _, _, err := EstimateRobust(m, nil, RobustConfig{}); err == nil {
+		t.Fatal("robust estimator accepted empty sample set")
+	}
+}
+
+func TestRobustDeterministic(t *testing.T) {
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.35, 0.65)
+	dirty := contaminate(sampleDurations(t, m, truth, 1000, 8, 19), 100, 40_000)
+	cfg := RobustConfig{EM: EMConfig{KernelHalfWidth: 8}}
+	first, st1, err := EstimateRobust(m, dirty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, st2, err := EstimateRobust(m, dirty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1 != st2 || !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs", i)
+		}
+	}
+}
+
+func TestWinsorize(t *testing.T) {
+	in := []float64{100, 1, 2, 3, 4, 5, 6, 7, 8, -50}
+	out, clamped := winsorize(in, 0.1)
+	if clamped != 2 {
+		t.Fatalf("clamped = %d, want 2", clamped)
+	}
+	// Order is preserved; the extremes are pulled to the 10%/90% quantiles.
+	if out[0] != 8 || out[9] != 1 {
+		t.Fatalf("winsorized = %v", out)
+	}
+	for i, v := range out[1:9] {
+		if v != in[i+1] {
+			t.Fatalf("interior value %d changed: %v", i+1, out)
+		}
+	}
+	// Tiny or disabled inputs pass through untouched.
+	if got, n := winsorize([]float64{1, 2}, 0.1); n != 0 || !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Fatalf("short input winsorized: %v, %d", got, n)
+	}
+}
+
+func TestRobustEstimatorInterface(t *testing.T) {
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.3, 0.6)
+	samples := sampleDurations(t, m, truth, 1000, 8, 23)
+	var est Estimator = Robust{Config: RobustConfig{EM: EMConfig{KernelHalfWidth: 8}}}
+	if est.Name() != "robust-em" {
+		t.Fatalf("Name = %q", est.Name())
+	}
+	probs, err := est.Estimate(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range m.Unknowns {
+		sum := 0.0
+		for _, e := range u.Edges {
+			sum += probs[e]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("branch %v probabilities sum to %v", u.Block, sum)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package trace
+
+// crc16 is CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no
+// reflection) — the frame check sequence low-power radio hardware
+// (IEEE 802.15.4) already computes, which is why the CTP2 uplink frame
+// adopts it rather than inventing a checksum.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -41,10 +41,17 @@ func FuzzReadEvents(f *testing.F) {
 // (the decoder is strict, so accepted input is exactly one packet).
 func FuzzPacketDecode(f *testing.F) {
 	good, _ := (&Packet{MoteID: 2, Seq: 9, Events: []mote.TraceEvent{{ID: 4, Tick: 77}}}).MarshalBinary()
+	legacy, _ := (&Packet{MoteID: 2, Seq: 9, Version: PacketVersionLegacy,
+		Events: []mote.TraceEvent{{ID: 4, Tick: 77}}}).MarshalBinary()
+	badCRC := append([]byte(nil), good...)
+	badCRC[len(badCRC)-1] ^= 0xFF
 	f.Add(good)
+	f.Add(legacy)
+	f.Add(badCRC)
 	f.Add(good[:len(good)-1])
 	f.Add(append(append([]byte{}, good...), 0))
 	f.Add([]byte("CTP1"))
+	f.Add([]byte("CTP2"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var p Packet

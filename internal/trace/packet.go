@@ -11,23 +11,43 @@ import (
 
 // The radio uplink format, versioned alongside the on-disk trace format
 // ("CTT1"): a mote batches its TRACE events into sequence-numbered packets
-// ("CTP1") small enough for a low-power radio MTU and transmits them to the
-// base station over a lossy link. Packets are self-delimiting so the base
-// station can reassemble per-mote streams from whatever subset arrives:
+// small enough for a low-power radio MTU and transmits them to the base
+// station over a lossy link. Packets are self-delimiting so the base
+// station can reassemble per-mote streams from whatever subset arrives.
+// Two wire versions exist:
 //
-//	magic "CTP1" (4) | mote id uint16 | seq uint32 | count uint16
-//	count × record, record = (id int32, tick uint64)
+//	v1: magic "CTP1" (4) | mote id uint16 | seq uint32 | count uint16
+//	    count × record, record = (id int32, tick uint64)
+//	v2: magic "CTP2" (4) | same header and records | crc uint16
 //
-// All fields little-endian. Sequence numbers start at 0 and increase by 1
-// per packet, which is what makes gaps (lost packets) detectable.
-var packetMagic = [4]byte{'C', 'T', 'P', '1'}
+// All fields little-endian. The v2 trailer is CRC-16/CCITT-FALSE over
+// everything before it, letting the base station reject bit-flipped
+// frames instead of decoding garbage; v1 frames (old captures) still
+// decode, they just carry no integrity check. Sequence numbers start at 0
+// and increase by 1 per packet, which is what makes gaps (lost packets)
+// detectable.
+var (
+	packetMagicV1 = [4]byte{'C', 'T', 'P', '1'}
+	packetMagicV2 = [4]byte{'C', 'T', 'P', '2'}
+)
 
 // ErrBadPacket is returned when decoding input that is not a trace packet.
 var ErrBadPacket = errors.New("trace: not a trace packet")
 
+// ErrCorruptPacket is returned when a v2 frame's CRC check fails: the
+// frame was a trace packet once, but the channel damaged it.
+var ErrCorruptPacket = errors.New("trace: packet failed CRC")
+
 const (
+	// PacketVersionLegacy is the original CRC-less wire format;
+	// PacketVersionCRC appends the CRC-16 trailer and is the default for
+	// new captures.
+	PacketVersionLegacy = 1
+	PacketVersionCRC    = 2
+
 	packetHeaderSize = 12 // magic + mote id + seq + count
 	packetRecordSize = 12 // id int32 + tick uint64
+	packetCRCSize    = 2  // v2 trailer
 
 	// MaxPacketEvents bounds a packet's payload; 85 records keep the wire
 	// size near a 1 KB radio frame.
@@ -42,16 +62,36 @@ const (
 type Packet struct {
 	MoteID uint16
 	Seq    uint32
-	Events []mote.TraceEvent
+	// Version selects the wire format: PacketVersionLegacy or
+	// PacketVersionCRC (0 marshals as PacketVersionCRC). UnmarshalBinary
+	// records the version it decoded, so decode→re-marshal round-trips
+	// byte for byte on either format.
+	Version int
+	Events  []mote.TraceEvent
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (p *Packet) MarshalBinary() ([]byte, error) {
+	v := p.Version
+	if v == 0 {
+		v = PacketVersionCRC
+	}
+	if v != PacketVersionLegacy && v != PacketVersionCRC {
+		return nil, fmt.Errorf("trace: unknown packet version %d", v)
+	}
 	if len(p.Events) > MaxPacketEvents {
 		return nil, fmt.Errorf("trace: packet payload %d exceeds %d events", len(p.Events), MaxPacketEvents)
 	}
-	out := make([]byte, packetHeaderSize+len(p.Events)*packetRecordSize)
-	copy(out, packetMagic[:])
+	size := packetHeaderSize + len(p.Events)*packetRecordSize
+	if v == PacketVersionCRC {
+		size += packetCRCSize
+	}
+	out := make([]byte, size)
+	magic := packetMagicV1
+	if v == PacketVersionCRC {
+		magic = packetMagicV2
+	}
+	copy(out, magic[:])
 	binary.LittleEndian.PutUint16(out[4:], p.MoteID)
 	binary.LittleEndian.PutUint32(out[6:], p.Seq)
 	binary.LittleEndian.PutUint16(out[10:], uint16(len(p.Events)))
@@ -61,28 +101,50 @@ func (p *Packet) MarshalBinary() ([]byte, error) {
 		binary.LittleEndian.PutUint64(out[off+4:], ev.Tick)
 		off += packetRecordSize
 	}
+	if v == PacketVersionCRC {
+		binary.LittleEndian.PutUint16(out[off:], crc16(out[:off]))
+	}
 	return out, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. It is strict: the
 // buffer must hold exactly one packet, and trailing bytes are an error —
-// frames are length-delimited by the radio, so excess data means corruption.
+// frames are length-delimited by the radio, so excess data means
+// corruption. A v2 frame whose CRC does not match returns
+// ErrCorruptPacket.
 func (p *Packet) UnmarshalBinary(data []byte) error {
 	if len(data) < packetHeaderSize {
 		return fmt.Errorf("%w: %d bytes", ErrBadPacket, len(data))
 	}
-	if [4]byte(data[:4]) != packetMagic {
+	var version int
+	switch [4]byte(data[:4]) {
+	case packetMagicV1:
+		version = PacketVersionLegacy
+	case packetMagicV2:
+		version = PacketVersionCRC
+	default:
 		return fmt.Errorf("%w: magic %q", ErrBadPacket, data[:4])
 	}
 	count := int(binary.LittleEndian.Uint16(data[10:]))
 	if count > MaxPacketEvents {
 		return fmt.Errorf("%w: implausible event count %d", ErrBadPacket, count)
 	}
-	if want := packetHeaderSize + count*packetRecordSize; len(data) != want {
+	want := packetHeaderSize + count*packetRecordSize
+	if version == PacketVersionCRC {
+		want += packetCRCSize
+	}
+	if len(data) != want {
 		return fmt.Errorf("%w: %d bytes for %d records (want %d)", ErrBadPacket, len(data), count, want)
+	}
+	if version == PacketVersionCRC {
+		body := data[:len(data)-packetCRCSize]
+		if got := binary.LittleEndian.Uint16(data[len(data)-packetCRCSize:]); crc16(body) != got {
+			return fmt.Errorf("%w: seq %d", ErrCorruptPacket, binary.LittleEndian.Uint32(data[6:]))
+		}
 	}
 	p.MoteID = binary.LittleEndian.Uint16(data[4:])
 	p.Seq = binary.LittleEndian.Uint32(data[6:])
+	p.Version = version
 	p.Events = make([]mote.TraceEvent, count)
 	off := packetHeaderSize
 	for i := range p.Events {
@@ -109,7 +171,7 @@ func Packetize(moteID uint16, events []mote.TraceEvent, perPacket int) []Packet 
 		if n > len(events) {
 			n = len(events)
 		}
-		out = append(out, Packet{MoteID: moteID, Seq: seq, Events: events[:n:n]})
+		out = append(out, Packet{MoteID: moteID, Seq: seq, Version: PacketVersionCRC, Events: events[:n:n]})
 		events = events[n:]
 	}
 	return out
@@ -123,6 +185,11 @@ type UplinkStats struct {
 	// below the highest sequence seen (tail losses are indistinguishable
 	// from the stream simply ending and are not counted).
 	PacketsDelivered, PacketsDuplicate, PacketsLost int
+	// PacketsCorrupted counts frames rejected before reassembly — a failed
+	// CRC or undecodable framing. Unlike PacketsLost these arrived, but
+	// were unusable; a sequence whose only copy was corrupt is counted
+	// again as lost when the gap it leaves is observed.
+	PacketsCorrupted int
 	// EventsDelivered is the total payload of distinct packets.
 	EventsDelivered int
 	// InvocationsRecovered counts complete intervals reconstructed;
@@ -137,6 +204,7 @@ type Reassembler struct {
 	moteID   uint16
 	payloads map[uint32][]mote.TraceEvent
 	dups     int
+	corrupt  int
 }
 
 // NewReassembler returns a reassembler for the given mote's stream.
@@ -158,6 +226,27 @@ func (r *Reassembler) Add(p Packet) error {
 	return nil
 }
 
+// AddFrame accepts one raw frame off the radio. Frames that fail to
+// decode — a failed CRC or mangled framing — are rejected and counted in
+// UplinkStats.PacketsCorrupted; rejection is the expected behaviour on a
+// corrupting channel, not an error. A CRC-validated packet from the wrong
+// mote is still an error — that is a base-station routing bug, not channel
+// noise — but on a legacy checksum-less frame a mismatched mote ID is the
+// only integrity signal there is: flipped ID bytes survive decoding, so
+// the frame is rejected as channel damage like any other corruption.
+func (r *Reassembler) AddFrame(frame []byte) error {
+	var p Packet
+	if err := p.UnmarshalBinary(frame); err != nil {
+		r.corrupt++
+		return nil
+	}
+	if p.MoteID != r.moteID && p.Version == PacketVersionLegacy {
+		r.corrupt++
+		return nil
+	}
+	return r.Add(p)
+}
+
 // Recover reconstructs invocation intervals from everything received so
 // far. Lost packets split the stream into contiguous segments; only the
 // invocations truncated by a gap (enter and exit on opposite sides of it)
@@ -166,7 +255,7 @@ func (r *Reassembler) Add(p Packet) error {
 // are returned in completion order; under loss their Depth is relative to
 // the enclosing segment (a lower bound on the true nesting depth).
 func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
-	st := UplinkStats{PacketsDelivered: len(r.payloads), PacketsDuplicate: r.dups}
+	st := UplinkStats{PacketsDelivered: len(r.payloads), PacketsDuplicate: r.dups, PacketsCorrupted: r.corrupt}
 	if len(r.payloads) == 0 {
 		return nil, st
 	}
@@ -202,8 +291,11 @@ func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
 // (their enters were lost) and frames still open at the end (their exits
 // were lost) are discarded and counted; everything properly paired inside
 // the run is complete — contiguity guarantees no callee is missing — and is
-// emitted. Corrupt events (negative ids, time running backwards) discard
-// the enclosing frame rather than aborting the whole stream.
+// emitted. An epoch marker (mote.EpochMarkID, logged at a watchdog reset)
+// flushes the open frames: their exits were lost to the crash, and
+// post-reboot events must never pair with pre-crash enters. Other corrupt
+// events (negative ids, time running backwards) discard the enclosing
+// frame rather than aborting the whole stream.
 func salvage(events []mote.TraceEvent) ([]Interval, int) {
 	type frame struct {
 		proc       int
@@ -214,6 +306,12 @@ func salvage(events []mote.TraceEvent) ([]Interval, int) {
 	var out []Interval
 	discarded := 0
 	for _, ev := range events {
+		if ev.ID == mote.EpochMarkID {
+			// Watchdog reset: every frame open at the crash is truncated.
+			discarded += len(stack)
+			stack = stack[:0]
+			continue
+		}
 		if ev.ID < 0 {
 			discarded++
 			continue

@@ -270,21 +270,172 @@ func TestSalvageMatchesExtract(t *testing.T) {
 }
 
 func TestPacketWireFormatIsStable(t *testing.T) {
-	// The wire format is a contract with deployed motes: pin it.
-	p := Packet{MoteID: 0x0102, Seq: 0x03040506, Events: []mote.TraceEvent{{ID: 2, Tick: 0x0A}}}
-	data, err := p.MarshalBinary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []byte{
-		'C', 'T', 'P', '1',
+	// The wire format is a contract with deployed motes: pin both versions.
+	body := []byte{
 		0x02, 0x01, // mote id LE
 		0x06, 0x05, 0x04, 0x03, // seq LE
 		0x01, 0x00, // count LE
 		0x02, 0x00, 0x00, 0x00, // id LE
 		0x0A, 0, 0, 0, 0, 0, 0, 0, // tick LE
 	}
+	events := []mote.TraceEvent{{ID: 2, Tick: 0x0A}}
+
+	v1 := Packet{MoteID: 0x0102, Seq: 0x03040506, Events: events, Version: PacketVersionLegacy}
+	data, err := v1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("CTP1"), body...)
 	if !bytes.Equal(data, want) {
-		t.Fatalf("wire bytes:\n got %x\nwant %x", data, want)
+		t.Fatalf("v1 wire bytes:\n got %x\nwant %x", data, want)
+	}
+
+	// Version 0 defaults to the CRC format: CTP2 magic, same body, CRC-16
+	// (CCITT-FALSE over magic+body) appended little-endian.
+	v2 := Packet{MoteID: 0x0102, Seq: 0x03040506, Events: events}
+	data, err = v2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(append([]byte("CTP2"), body...), 0x11, 0xEB)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("v2 wire bytes:\n got %x\nwant %x", data, want)
+	}
+	if got := crc16(want[:len(want)-2]); got != 0xEB11 {
+		t.Fatalf("crc16 = %#04x, want 0xEB11", got)
+	}
+}
+
+// Legacy CTP1 captures must keep decoding, and decode must preserve the
+// version so re-marshal round-trips byte-for-byte.
+func TestPacketLegacyFixtureDecodes(t *testing.T) {
+	fixture := []byte{
+		'C', 'T', 'P', '1',
+		0x07, 0x00, // mote 7
+		0x2A, 0x00, 0x00, 0x00, // seq 42
+		0x02, 0x00, // 2 events
+		0x00, 0x00, 0x00, 0x00, 0x0A, 0, 0, 0, 0, 0, 0, 0,
+		0x01, 0x00, 0x00, 0x00, 0x19, 0, 0, 0, 0, 0, 0, 0,
+	}
+	var p Packet
+	if err := p.UnmarshalBinary(fixture); err != nil {
+		t.Fatalf("v1 fixture rejected: %v", err)
+	}
+	if p.Version != PacketVersionLegacy || p.MoteID != 7 || p.Seq != 42 || len(p.Events) != 2 {
+		t.Fatalf("decoded %+v", p)
+	}
+	re, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, fixture) {
+		t.Fatalf("v1 re-marshal changed bytes:\n got %x\nwant %x", re, fixture)
+	}
+}
+
+// Every single-byte corruption of a v2 frame must be rejected — either by
+// the CRC (ErrCorruptPacket) or, when the damage hits the magic or length
+// fields, by framing (ErrBadPacket). Nothing decodes silently wrong.
+func TestPacketCRCRejectsCorruption(t *testing.T) {
+	p := Packet{MoteID: 3, Seq: 9, Events: []mote.TraceEvent{{ID: 1, Tick: 100}, {ID: 2, Tick: 250}}}
+	good, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		for _, flip := range []byte{0x01, 0x80} {
+			bad := append([]byte(nil), good...)
+			bad[i] ^= flip
+			var q Packet
+			err := q.UnmarshalBinary(bad)
+			if err == nil {
+				t.Fatalf("corruption at byte %d (flip %#02x) decoded silently", i, flip)
+			}
+			if !errors.Is(err, ErrCorruptPacket) && !errors.Is(err, ErrBadPacket) {
+				t.Fatalf("byte %d: unexpected error %v", i, err)
+			}
+		}
+	}
+	// An uncorrupted frame still decodes, with the version preserved.
+	var q Packet
+	if err := q.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+	if q.Version != PacketVersionCRC {
+		t.Fatalf("Version = %d, want %d", q.Version, PacketVersionCRC)
+	}
+}
+
+// AddFrame is the base station's ingest path: corrupt frames are counted,
+// not fatal, and never contribute events (the corrupted-packet accounting
+// satellite).
+func TestReassemblerAddFrameCountsCorrupt(t *testing.T) {
+	events, _ := syntheticLog(4)
+	pkts := Packetize(5, events, 4)
+	r := NewReassembler(5)
+	corrupt := 0
+	for i, p := range pkts {
+		f, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			f[len(f)-1] ^= 0xFF // mangle the CRC
+			corrupt++
+		}
+		if err := r.AddFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, st := r.Recover()
+	if st.PacketsCorrupted != corrupt {
+		t.Fatalf("PacketsCorrupted = %d, want %d", st.PacketsCorrupted, corrupt)
+	}
+	if st.PacketsDelivered != len(pkts)-corrupt {
+		t.Fatalf("PacketsDelivered = %d, want %d", st.PacketsDelivered, len(pkts)-corrupt)
+	}
+	// A CRC-validated packet from a foreign mote is a routing bug, not
+	// noise — the checksum vouches for the mote ID.
+	foreign, _ := (&Packet{MoteID: 6, Seq: 0, Events: []mote.TraceEvent{{ID: 0, Tick: 1}}}).MarshalBinary()
+	if err := r.AddFrame(foreign); err == nil {
+		t.Fatal("foreign mote frame accepted")
+	}
+	// On a checksum-less legacy frame the same mismatch is indistinguishable
+	// from a bit flip in the ID field: rejected and counted, never an error.
+	legacyForeign, _ := (&Packet{Version: PacketVersionLegacy, MoteID: 6, Seq: 1,
+		Events: []mote.TraceEvent{{ID: 0, Tick: 1}}}).MarshalBinary()
+	if err := r.AddFrame(legacyForeign); err != nil {
+		t.Fatalf("legacy foreign frame errored: %v", err)
+	}
+	if _, st2 := r.Recover(); st2.PacketsCorrupted != corrupt+1 {
+		t.Fatalf("legacy foreign frame not counted corrupt: %d, want %d", st2.PacketsCorrupted, corrupt+1)
+	}
+}
+
+// An epoch marker (watchdog reset) inside a segment truncates the frames
+// open at the crash; invocations completed before it and started after it
+// both survive.
+func TestSalvageEpochMarker(t *testing.T) {
+	events := []mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1}, {ID: ExitID(0), Tick: 5}, // completes pre-crash
+		{ID: EnterID(0), Tick: 6}, // open at the crash
+		{ID: mote.EpochMarkID, Tick: 8},
+		{ID: EnterID(0), Tick: 10}, {ID: ExitID(0), Tick: 14}, // post-reboot
+	}
+	r := NewReassembler(2)
+	for _, p := range Packetize(2, events, 3) {
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivs, st := r.Recover()
+	if len(ivs) != 2 {
+		t.Fatalf("recovered %d intervals, want 2: %+v", len(ivs), ivs)
+	}
+	if ivs[0].EnterTick != 1 || ivs[1].EnterTick != 10 {
+		t.Fatalf("wrong survivors: %+v", ivs)
+	}
+	if st.InvocationsDiscarded != 1 {
+		t.Fatalf("discarded = %d, want 1 (the frame open at the crash)", st.InvocationsDiscarded)
 	}
 }

@@ -53,7 +53,10 @@ func (iv Interval) ExclusiveTicks() uint64 {
 
 // Extract reconstructs invocation intervals from a TRACE log. Events must
 // be properly nested (the instrumentation guarantees this); unbalanced logs
-// return ErrMalformed. Intervals are returned in completion order.
+// return ErrMalformed. An epoch marker (mote.EpochMarkID, logged at a
+// fault-injected reboot) flushes the frames open at the crash — their
+// exits never happened — and well-nested execution resumes after it.
+// Intervals are returned in completion order.
 func Extract(events []mote.TraceEvent) ([]Interval, error) {
 	type frame struct {
 		proc       int
@@ -63,6 +66,10 @@ func Extract(events []mote.TraceEvent) ([]Interval, error) {
 	var stack []frame
 	var out []Interval
 	for i, ev := range events {
+		if ev.ID == mote.EpochMarkID {
+			stack = stack[:0]
+			continue
+		}
 		if ev.ID < 0 {
 			return nil, fmt.Errorf("%w: negative id %d at event %d", ErrMalformed, ev.ID, i)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"codetomo/internal/compile"
+	"codetomo/internal/fault"
 	"codetomo/internal/fleet"
 	"codetomo/internal/layout"
 	"codetomo/internal/markov"
@@ -34,8 +35,38 @@ type FleetConfig struct {
 	// trace.MaxPacketEvents).
 	EventsPerPacket int
 	// DropProb, DupProb, and ReorderProb describe the lossy uplink; all
-	// default to 0 (perfect channel).
-	DropProb, DupProb, ReorderProb float64
+	// default to 0 (perfect channel). CorruptProb adds per-transmission
+	// single-bit flips on top.
+	DropProb, DupProb, ReorderProb, CorruptProb float64
+	// PacketVersion selects the uplink wire format: 0 or
+	// trace.PacketVersionCRC for the CRC-16'd v2 frames (default), or
+	// trace.PacketVersionLegacy for the original CRC-less format, under
+	// which corrupted frames decode silently wrong instead of being
+	// rejected.
+	PacketVersion int
+	// ARQRetries bounds selective-repeat retransmission rounds per uplink
+	// (0 = ARQ off). Requires the CRC packet format. ARQBackoffTicks is
+	// the base of the deterministic exponential backoff charged between
+	// rounds (0 = default 64).
+	ARQRetries      int
+	ARQBackoffTicks uint64
+	// Faults injects deterministic mote faults — watchdog crash/reboots,
+	// brownouts, sensor stuck-at and glitch faults — into every mote. The
+	// zero value is a healthy deployment. Faults.Seed derives from Seed
+	// when left 0.
+	Faults fault.Config
+	// Robust replaces plain EM with the outlier-trimmed robust estimator
+	// and gates placement on per-procedure confidence: low-confidence
+	// procedures keep the baseline layout instead of being optimized on
+	// contaminated estimates.
+	Robust bool
+	// TrimWidth is the robust outlier cut in cycles — samples farther
+	// than this from every enumerated path duration are discarded
+	// (0 = default 4× the EM kernel half-width). MaxTrimFraction flags a
+	// procedure low-confidence when a larger fraction of its samples was
+	// trimmed (0 = default 0.25).
+	TrimWidth       float64
+	MaxTrimFraction float64
 	// Batches is the number of uplink rounds each mote's stream is split
 	// into for incremental re-estimation (default 8).
 	Batches int
@@ -63,9 +94,30 @@ func (c FleetConfig) Validate() error {
 		return fmt.Errorf("codetomo: EventsPerPacket = %d; must be in [1, %d] (zero selects the default of %d)",
 			c.EventsPerPacket, trace.MaxPacketEvents, trace.DefaultEventsPerPacket)
 	}
-	link := fleet.LinkConfig{DropProb: c.DropProb, DupProb: c.DupProb, ReorderProb: c.ReorderProb}
+	link := fleet.LinkConfig{
+		DropProb: c.DropProb, DupProb: c.DupProb, ReorderProb: c.ReorderProb,
+		CorruptProb:   c.CorruptProb,
+		PacketVersion: c.PacketVersion,
+		ARQ:           fleet.ARQConfig{MaxRetries: c.ARQRetries, BackoffBaseTicks: c.ARQBackoffTicks},
+	}
 	if err := link.Validate(); err != nil {
 		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.TrimWidth < 0 {
+		return fmt.Errorf("codetomo: TrimWidth = %v; must be >= 0 (zero selects the default of 4x the EM kernel)", c.TrimWidth)
+	}
+	if c.MaxTrimFraction < 0 || c.MaxTrimFraction > 1 {
+		return fmt.Errorf("codetomo: MaxTrimFraction = %v; must be a fraction in [0, 1] (zero selects the default of 0.25)", c.MaxTrimFraction)
+	}
+	if c.Robust {
+		switch c.Estimator.(type) {
+		case nil, tomography.Robust:
+		default:
+			return fmt.Errorf("codetomo: Robust wraps the EM estimator; leave Estimator nil (or pass tomography.Robust), not %q", c.Estimator.Name())
+		}
 	}
 	if c.Batches < 0 {
 		return fmt.Errorf("codetomo: Batches = %d; must be positive (zero selects the default of 8)", c.Batches)
@@ -80,7 +132,21 @@ func (c FleetConfig) Validate() error {
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Robust && c.Estimator == nil {
+		td := c.TickDiv
+		if td <= 0 {
+			td = 8
+		}
+		c.Estimator = tomography.Robust{Config: tomography.RobustConfig{
+			EM:              tomography.EMConfig{KernelHalfWidth: float64(td)},
+			OutlierWidth:    c.TrimWidth,
+			MaxTrimFraction: c.MaxTrimFraction,
+		}}
+	}
 	c.Config = c.Config.withDefaults()
+	if c.Faults.Enabled() && c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed + fleetFaultSeed
+	}
 	if c.Motes == 0 {
 		c.Motes = 4
 	}
@@ -144,6 +210,7 @@ const (
 	fleetMoteSeedStride = 104729 // per-mote sensor/entropy seeds
 	fleetOffsetSeed     = 7253   // clock skew RNG
 	fleetLinkSeed       = 104659 // radio channel RNG base
+	fleetFaultSeed      = 94907  // fault-injection RNG base
 )
 
 // fleetSpecs derives the deployment's mote specs from the config: workload
@@ -204,9 +271,13 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 			DropProb:        cfg.DropProb,
 			DupProb:         cfg.DupProb,
 			ReorderProb:     cfg.ReorderProb,
+			CorruptProb:     cfg.CorruptProb,
 			EventsPerPacket: cfg.EventsPerPacket,
+			PacketVersion:   cfg.PacketVersion,
+			ARQ:             fleet.ARQConfig{MaxRetries: cfg.ARQRetries, BackoffBaseTicks: cfg.ARQBackoffTicks},
 			Seed:            cfg.Seed + fleetLinkSeed,
 		},
+		Faults: cfg.Faults,
 	}
 	fst := fleet.Stats{Motes: cfg.Motes, SamplesPerProc: make(map[string]int)}
 	t0 := time.Now()
@@ -225,17 +296,26 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		fst.Link.Sent += up.Link.Sent
-		fst.Link.Dropped += up.Link.Dropped
-		fst.Link.Duplicated += up.Link.Duplicated
-		fst.Link.Reordered += up.Link.Reordered
+		fst.Link.Add(up.Link)
+		fst.ARQ.Add(up.ARQ)
+		fst.Resets += up.Stats.Resets
 		fst.Uplink.PacketsDelivered += ust.PacketsDelivered
 		fst.Uplink.PacketsDuplicate += ust.PacketsDuplicate
 		fst.Uplink.PacketsLost += ust.PacketsLost
+		fst.Uplink.PacketsCorrupted += ust.PacketsCorrupted
 		fst.Uplink.EventsDelivered += ust.EventsDelivered
 		fst.Uplink.InvocationsRecovered += ust.InvocationsRecovered
 		fst.Uplink.InvocationsDiscarded += ust.InvocationsDiscarded
 		fst.EventsLogged += up.EventsLogged
+		fst.PerMote = append(fst.PerMote, fleet.MoteUplink{
+			ID:              up.Spec.ID,
+			Resets:          up.Stats.Resets,
+			Sent:            up.Link.Sent,
+			Delivered:       ust.PacketsDelivered,
+			Corrupted:       ust.PacketsCorrupted,
+			Retransmissions: up.ARQ.Retransmissions,
+			Recovered:       up.ARQ.Recovered,
+		})
 		durs := make(map[int][]float64)
 		for p, ticks := range trace.ExclusiveByProc(ivs) {
 			durs[p] = trace.DurationsCycles(ticks, cfg.TickDiv)
@@ -308,11 +388,21 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		fst.EstimatedProcs++
 		fst.Rounds += o.Rounds
 		fst.Iterations += o.Iterations
+		fst.TrimmedSamples += o.Trimmed
 		if o.Converged {
 			fst.ConvergedProcs++
 		}
 		pd.pe.Branches, pd.pe.MAE = branchEstimates(pd.model, o.Probs, pd.oracle, cfg.TickDiv)
-		probs[pd.pe.Proc] = o.Probs
+		pd.pe.TrimmedSamples = o.Trimmed
+		if cfg.Robust && !o.Confident {
+			// Graceful degradation: report the untrusted estimate, but
+			// leave the procedure's layout at the baseline rather than
+			// optimizing on contaminated probabilities.
+			pd.pe.LowConfidence = true
+			fst.LowConfidenceProcs++
+		} else {
+			probs[pd.pe.Proc] = o.Probs
+		}
 		res.Estimates = append(res.Estimates, pd.pe)
 	}
 

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"codetomo/internal/fault"
 	"codetomo/internal/fleet"
 	"codetomo/internal/mote"
+	"codetomo/internal/tomography"
 )
 
 func fleetConfig() FleetConfig {
@@ -155,6 +157,128 @@ func TestRunFleetLossyMAEWithinBound(t *testing.T) {
 	}
 }
 
+// Satellite 4 of the fault-injection PR: the determinism contract must
+// survive the whole fault stack. With crashes, brownouts, sensor faults,
+// corruption, ARQ, and robust estimation all enabled, a seeded run still
+// reproduces bit-for-bit across worker counts and GOMAXPROCS.
+func TestRunFleetDeterministicUnderFaults(t *testing.T) {
+	src := sourceFor(t, "sense", 500)
+
+	faultyConfig := func() FleetConfig {
+		cfg := fleetConfig()
+		cfg.CorruptProb = 0.05
+		cfg.ARQRetries = 3
+		cfg.Robust = true
+		cfg.Faults = fault.Config{
+			CrashMTBFCycles: 400_000,
+			BrownoutProb:    0.3,
+			SensorStuckProb: 0.01,
+			SensorNoiseProb: 0.05,
+		}
+		return cfg
+	}
+
+	type snapshot struct {
+		estimates []ProcEstimate
+		link      fleet.LinkStats
+		arq       fleet.ARQStats
+		resets    uint64
+		perMote   []fleet.MoteUplink
+		uplink    interface{}
+		trimmed   int
+		lowConf   int
+		before    RunStats
+		output    []uint16
+	}
+	take := func(workers, maxprocs int) snapshot {
+		prev := runtime.GOMAXPROCS(maxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := faultyConfig()
+		cfg.Workers = workers
+		res, err := RunFleet(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{
+			estimates: res.Estimates,
+			link:      res.Fleet.Link,
+			arq:       res.Fleet.ARQ,
+			resets:    res.Fleet.Resets,
+			perMote:   res.Fleet.PerMote,
+			uplink:    res.Fleet.Uplink,
+			trimmed:   res.Fleet.TrimmedSamples,
+			lowConf:   res.Fleet.LowConfidenceProcs,
+			before:    res.Before,
+			output:    res.Output,
+		}
+	}
+
+	ref := take(1, 1)
+	// The run must actually exercise the fault machinery, or this test
+	// proves nothing.
+	if ref.resets == 0 {
+		t.Fatal("no watchdog resets fired; raise the crash rate")
+	}
+	if ref.link.Corrupted == 0 || ref.arq.Retransmissions == 0 {
+		t.Fatalf("channel faults idle: link %+v, arq %+v", ref.link, ref.arq)
+	}
+	for _, tc := range []struct{ workers, maxprocs int }{{1, 1}, {4, 1}, {4, 4}} {
+		got := take(tc.workers, tc.maxprocs)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d GOMAXPROCS=%d diverged under faults:\n%+v\nvs\n%+v",
+				tc.workers, tc.maxprocs, got, ref)
+		}
+	}
+}
+
+// Graceful degradation, end to end: at moderate fault rates the recovery
+// stack (CRC rejection + ARQ + robust trimming + confidence-gated
+// placement) keeps estimation error within 2× the fault-free baseline, and
+// the placement never regresses below the unoptimized binary.
+func TestRunFleetGracefulDegradation(t *testing.T) {
+	src := sourceFor(t, "sense", 800)
+
+	clean := fleetConfig()
+	clean.DropProb, clean.DupProb, clean.ReorderProb = 0, 0, 0
+	faulty := fleetConfig()
+	faulty.CorruptProb = 0.1
+	faulty.ARQRetries = 3
+	faulty.Robust = true
+	faulty.Faults = fault.Config{CrashMTBFCycles: 600_000, BrownoutProb: 0.2}
+
+	run := func(cfg FleetConfig) (float64, *FleetResult) {
+		res, err := RunFleet(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pe := range res.Estimates {
+			if pe.Proc == "sample" && !pe.Fallback && !pe.LowConfidence {
+				return pe.MAE, res
+			}
+		}
+		t.Fatal("handler estimate missing, fell back, or low-confidence")
+		return 0, nil
+	}
+	cleanMAE, _ := run(clean)
+	faultyMAE, res := run(faulty)
+
+	bound := 2 * cleanMAE
+	if bound < 0.03 {
+		bound = 0.03
+	}
+	if faultyMAE > bound {
+		t.Fatalf("faulty MAE %v exceeds bound %v (clean %v)", faultyMAE, bound, cleanMAE)
+	}
+	if res.Fleet.Resets == 0 || res.Fleet.Link.Corrupted == 0 {
+		t.Fatalf("fault campaign idle: resets=%d link=%+v", res.Fleet.Resets, res.Fleet.Link)
+	}
+	// Confidence-gated placement must never make the binary slower than
+	// leaving it alone.
+	if res.After.Cycles > res.Before.Cycles {
+		t.Fatalf("optimized binary slower under faults: %d -> %d cycles", res.Before.Cycles, res.After.Cycles)
+	}
+}
+
 func TestRunFleetRejectsStatefulPredictor(t *testing.T) {
 	src := sourceFor(t, "sense", 100)
 	cfg := fleetConfig()
@@ -179,6 +303,16 @@ func TestFleetConfigValidate(t *testing.T) {
 		{ConvergePatience: -1},
 		{Config: Config{TickDiv: -8}},
 		{Config: Config{MinCoverage: 1.5}},
+		{CorruptProb: 2},
+		{PacketVersion: 5},
+		{ARQRetries: -1},
+		// ARQ has nothing to NACK without checksums.
+		{ARQRetries: 2, PacketVersion: 1},
+		{TrimWidth: -1},
+		{MaxTrimFraction: 1.5},
+		// The robust wrapper replaces EM; other estimators can't be wrapped.
+		{Robust: true, Config: Config{Estimator: tomography.Histogram{}}},
+		{Faults: fault.Config{BrownoutProb: 2}},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

@@ -25,6 +25,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== fuzz smoke (packet decoder)"
+go test ./internal/trace -run=NONE -fuzz=FuzzPacketDecode -fuzztime=5s
+
 echo "== ctlint examples"
 go run ./cmd/ctlint examples/minic/*.mc
 
