@@ -7,10 +7,15 @@
 //	ctbench               # run everything
 //	ctbench -exp f4       # one experiment
 //	ctbench -csv          # emit CSV instead of aligned tables
+//	ctbench -json         # emit a JSON array of result tables
 //	ctbench -samples 3000 -seed 1234 -tick 8
+//
+// `ctbench -exp k1 -json` regenerates the committed BENCH_PR4.json
+// estimation-kernel numbers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,15 +23,17 @@ import (
 
 	"codetomo/internal/bench"
 	"codetomo/internal/mote"
+	"codetomo/internal/report"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,ft1,ft2) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,ft1,ft2,k1) or 'all'")
 	samples := flag.Int("samples", 0, "handler invocations per profiling run (default from bench.DefaultConfig)")
 	seed := flag.Int64("seed", 0, "workload seed (default from bench.DefaultConfig)")
 	tick := flag.Int("tick", 0, "timer prescaler (default from bench.DefaultConfig)")
 	predictor := flag.String("predictor", "", "nt or btfn (default nt)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of result tables (machine-readable)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -60,18 +67,34 @@ func main() {
 		run = []bench.Experiment{e}
 	}
 
+	type jsonTable struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		*report.Table
+	}
+	var collected []jsonTable
 	for _, e := range run {
 		start := time.Now()
 		table, err := e.Run(cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			collected = append(collected, jsonTable{ID: e.ID, Title: e.Title, Table: table})
+		case *csv:
 			fmt.Printf("# %s: %s\n", e.ID, e.Title)
 			fmt.Print(table.CSV())
-		} else {
+		default:
 			fmt.Print(table.Render())
 			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

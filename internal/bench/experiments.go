@@ -49,6 +49,7 @@ func Experiments() []Experiment {
 		{"fl2", "Fleet 2: estimation error vs fleet size", FleetSizeSweep},
 		{"ft1", "Fault 1: naive vs hardened uplink under faults", FaultRecoverySweep},
 		{"ft2", "Fault 2: ARQ recovery cost vs corruption rate", ARQOverheadSweep},
+		{"k1", "Kernel 1: estimation kernel microbenchmarks", KernelBench},
 	}
 }
 

@@ -84,37 +84,79 @@ type MoteUpload struct {
 // Workers and GOMAXPROCS: each mote's simulation and link are pure
 // functions of its spec and the configs.
 func Simulate(cfg SimConfig, specs []MoteSpec) ([]MoteUpload, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	pus, err := SimulateReassembledOn(NewPool(workers), cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	uploads := make([]MoteUpload, len(pus))
+	for i := range pus {
+		uploads[i] = pus[i].MoteUpload
+	}
+	return uploads, nil
+}
+
+// ProcessedUpload is one mote's upload after the base station has done the
+// per-mote half of its work: frames reassembled into invocation intervals
+// and converted to per-procedure durations. Producing it inside the mote's
+// own pool task lets uplink processing overlap other motes' simulations.
+type ProcessedUpload struct {
+	MoteUpload
+	// Intervals are the invocation intervals recovered from the frames;
+	// Uplink is the reassembly accounting.
+	Intervals []trace.Interval
+	Uplink    trace.UplinkStats
+	// Durations maps procedure index to measured durations in cycles
+	// (exclusive time, tick-quantized with cfg.Mote.TickDiv).
+	Durations map[int][]float64
+}
+
+// SimulateReassembledOn runs every mote of the deployment on the shared
+// pool — simulation, link transit, frame reassembly, and duration
+// extraction fused into one task per mote — and returns the processed
+// uploads in spec order. cfg.Workers is ignored; the pool bounds
+// concurrency. Results are independent of pool size and GOMAXPROCS: each
+// task is a pure function of (cfg, spec) writing only its own slot.
+func SimulateReassembledOn(pool *Pool, cfg SimConfig, specs []MoteSpec) ([]ProcessedUpload, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("fleet: no motes")
 	}
 	if _, ok := cfg.Mote.Predictor.(mote.TrainablePredictor); ok {
 		return nil, fmt.Errorf("fleet: predictor %q is stateful (TrainablePredictor); fleet motes run concurrently and cannot share trained state", cfg.Mote.Predictor.Name())
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-
-	uploads := make([]MoteUpload, len(specs))
+	out := make([]ProcessedUpload, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, spec := range specs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, spec MoteSpec) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			uploads[i], errs[i] = runMote(cfg, spec)
-		}(i, spec)
+		i, spec := i, spec
+		pool.Go(&wg, func() {
+			up, err := runMote(cfg, spec)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet: mote %d: %w", spec.ID, err)
+				return
+			}
+			ivs, ust, err := Reassemble(up) // wraps with the mote identity itself
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			durs := make(map[int][]float64)
+			for p, ticks := range trace.ExclusiveByProc(ivs) {
+				durs[p] = trace.DurationsCycles(ticks, cfg.Mote.TickDiv)
+			}
+			out[i] = ProcessedUpload{MoteUpload: up, Intervals: ivs, Uplink: ust, Durations: durs}
+		})
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fleet: mote %d: %w", specs[i].ID, err)
+			return nil, err
 		}
 	}
-	return uploads, nil
+	return out, nil
 }
 
 // runMote simulates one mote and pushes its trace through the link. It is
@@ -191,6 +233,15 @@ func Reassemble(up MoteUpload) ([]trace.Interval, trace.UplinkStats, error) {
 	}
 	ivs, st := r.Recover()
 	return ivs, st, nil
+}
+
+// MergeBranchStatsProcessed is MergeBranchStats over processed uploads.
+func MergeBranchStatsProcessed(uploads []ProcessedUpload) map[int32]*mote.BranchStat {
+	raw := make([]MoteUpload, len(uploads))
+	for i := range uploads {
+		raw[i] = uploads[i].MoteUpload
+	}
+	return MergeBranchStats(raw)
 }
 
 // MergeBranchStats sums per-branch ground-truth outcome counts across the

@@ -451,7 +451,7 @@ func TestEstimateStreams(t *testing.T) {
 	streams := []ProcStream{{Name: "work", Model: model, Batches: rounds[pm.Index]}}
 	est := tomography.EM{Config: tomography.EMConfig{KernelHalfWidth: 8}}
 
-	o1, err := EstimateStreams(streams, est, 1e-3, 2)
+	o1, err := EstimateStreams(streams, est, 1e-3, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,12 +468,55 @@ func TestEstimateStreams(t *testing.T) {
 	if o1[0].Rounds < 1 || o1[0].Iterations < 1 {
 		t.Fatalf("no estimation effort recorded: %+v", o1[0])
 	}
-	o2, err := EstimateStreams(streams, est, 1e-3, 2)
+	// A different worker bound must not change the outcome.
+	o2, err := EstimateStreams(streams, est, 1e-3, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(o1, o2) {
 		t.Fatal("streaming estimation is not reproducible")
+	}
+}
+
+// TestSimulateReassembledMatchesTwoStep pins the fused per-mote pool task
+// (simulate + reassemble + duration extraction in one slot) to the
+// two-step Simulate-then-Reassemble path, across different pool sizes.
+func TestSimulateReassembledMatchesTwoStep(t *testing.T) {
+	cfg := buildFleet(t)
+	cfg.Link.DropProb = 0.1
+	specs := fleetSpecs(3)
+
+	uploads, err := Simulate(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		fused, err := SimulateReassembledOn(NewPool(workers), cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused) != len(uploads) {
+			t.Fatalf("workers=%d: %d uploads, want %d", workers, len(fused), len(uploads))
+		}
+		for i, pu := range fused {
+			ivs, ust, err := Reassemble(uploads[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pu.MoteUpload, uploads[i]) {
+				t.Fatalf("workers=%d mote %d: upload differs from two-step path", workers, i)
+			}
+			if !reflect.DeepEqual(pu.Intervals, ivs) || !reflect.DeepEqual(pu.Uplink, ust) {
+				t.Fatalf("workers=%d mote %d: reassembly differs from two-step path", workers, i)
+			}
+			want := make(map[int][]float64)
+			for p, ticks := range trace.ExclusiveByProc(ivs) {
+				want[p] = trace.DurationsCycles(ticks, cfg.Mote.TickDiv)
+			}
+			if !reflect.DeepEqual(pu.Durations, want) {
+				t.Fatalf("workers=%d mote %d: durations differ from two-step path", workers, i)
+			}
+		}
 	}
 }
 

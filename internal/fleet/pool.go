@@ -1,0 +1,42 @@
+package fleet
+
+import "sync"
+
+// Pool is the campaign's bounded worker pool: one semaphore shared by every
+// parallel stage — mote simulation, uplink reassembly, model construction,
+// streaming estimation — so the whole pipeline runs at most `workers` tasks
+// at once no matter how stages overlap. Tasks must be pure functions of
+// their inputs writing to caller-owned slots; the pool bounds concurrency
+// only and never influences results.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool running at most workers tasks concurrently
+// (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Do runs f under the pool's concurrency bound, blocking until a slot
+// frees up. Callers fan out with their own goroutines and WaitGroups; Do
+// is the choke point they all share.
+func (p *Pool) Do(f func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	f()
+}
+
+// Go runs f on a new goroutine under the pool's concurrency bound,
+// registered on wg. The goroutine is spawned immediately (submission never
+// blocks) but f itself waits for a pool slot.
+func (p *Pool) Go(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(f)
+	}()
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -79,24 +80,38 @@ type ProcOutcome struct {
 	Confident bool
 }
 
-// EstimateStreams runs streaming estimation for every procedure in
-// parallel — one goroutine per procedure, each a pure function of its
-// stream — and returns outcomes in input order, so the result is
-// independent of scheduling.
-func EstimateStreams(streams []ProcStream, est tomography.Estimator, tol float64, patience int) ([]ProcOutcome, error) {
+// EstimateStreams runs streaming estimation for every procedure on a
+// bounded worker pool (workers <= 0 selects one per stream) and returns
+// outcomes in input order. Each stream is a pure function of its input, so
+// the result is independent of worker count and scheduling.
+func EstimateStreams(streams []ProcStream, est tomography.Estimator, tol float64, patience, workers int) ([]ProcOutcome, error) {
+	if workers <= 0 {
+		workers = len(streams)
+	}
+	return EstimateStreamsOn(NewPool(workers), streams, est, tol, patience)
+}
+
+// EstimateStreamsOn is EstimateStreams running on a caller-owned pool, so
+// estimation can share the campaign's concurrency bound with simulation
+// and model construction instead of claiming its own.
+func EstimateStreamsOn(pool *Pool, streams []ProcStream, est tomography.Estimator, tol float64, patience int) ([]ProcOutcome, error) {
 	outcomes := make([]ProcOutcome, len(streams))
 	errs := make([]error, len(streams))
 	var wg sync.WaitGroup
 	for i, s := range streams {
-		wg.Add(1)
-		go func(i int, s ProcStream) {
-			defer wg.Done()
+		i, s := i, s
+		pool.Go(&wg, func() {
 			// Incremental handles the convergence-based early stop: once
 			// the estimate settles, later batches are absorbed into the
 			// sample accounting without re-estimating.
 			inc := tomography.NewIncremental(s.Model, est, tol, patience)
 			for _, batch := range s.Batches {
 				if _, err := inc.Observe(batch); err != nil {
+					if errors.Is(err, tomography.ErrNoSamples) {
+						// An uplink round that delivered nothing for this
+						// procedure: nothing to re-estimate yet.
+						continue
+					}
 					errs[i] = fmt.Errorf("fleet: estimate %s: %w", s.Name, err)
 					return
 				}
@@ -111,7 +126,7 @@ func EstimateStreams(streams []ProcStream, est tomography.Estimator, tol float64
 				Trimmed:     inc.Trimmed(),
 				Confident:   inc.Confident(),
 			}
-		}(i, s)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {

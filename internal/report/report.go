@@ -8,12 +8,13 @@ import (
 	"strings"
 )
 
-// Table is a titled grid of results.
+// Table is a titled grid of results. The JSON tags define the
+// machine-readable form `ctbench -json` emits (and BENCH_PR4.json holds).
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of stringable cells.

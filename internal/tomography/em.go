@@ -1,13 +1,18 @@
 package tomography
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
-	"codetomo/internal/ir"
 	"codetomo/internal/markov"
 )
+
+// ErrNoSamples is returned when an estimator is invoked with nothing to
+// estimate from: an empty sample set (or, for Incremental.Observe, an
+// empty accumulated stream).
+var ErrNoSamples = errors.New("tomography: no samples")
 
 // EMConfig tunes the expectation-maximization estimator.
 type EMConfig struct {
@@ -23,6 +28,12 @@ type EMConfig struct {
 	// Alpha is the additive smoothing applied in the M-step so no branch
 	// probability collapses to exactly zero (default 0.5 pseudo-counts).
 	Alpha float64
+	// Init optionally warm-starts EM from a previous estimate instead of
+	// the uniform prior; edges missing from Init keep their uniform value.
+	// Warm starting changes the trajectory (typically slashing the
+	// iteration count on streaming re-estimation) but not the stopping
+	// rule: EM still iterates until no probability moves more than Tol.
+	Init markov.EdgeProbs
 }
 
 // withDefaults fills unset fields.
@@ -62,141 +73,59 @@ type EMStats struct {
 // where π_j is the path prior under the current probabilities, τ_j the
 // path's deterministic duration, m_j(e) its traversal count of edge e, and
 // K a box kernel absorbing timer quantization.
+//
+// The hot loop runs on the dense indexed-path kernel (see
+// markov.CompiledPaths); its results are bit-identical to the retained
+// map-based reference implementation, EstimateEMReference. Samples must be
+// finite — NaN or ±Inf durations are rejected with an error rather than
+// silently skewing the dedup histogram.
 func EstimateEM(m *Model, samples []float64, cfg EMConfig) (markov.EdgeProbs, EMStats, error) {
-	cfg = cfg.withDefaults()
 	var st EMStats
+	if err := validateSamples(samples); err != nil {
+		return nil, st, err
+	}
 	if len(m.Unknowns) == 0 {
 		return m.InitialProbs(), st, nil
 	}
 	if len(samples) == 0 {
-		return nil, st, fmt.Errorf("tomography: no samples")
+		return nil, st, ErrNoSamples
 	}
-
 	// Deduplicate observations into (value, count) — durations are
 	// quantized so collapsing repeats makes EM cost independent of the
 	// sample count.
 	obs, counts := dedup(samples)
-
-	probs := m.InitialProbs()
-	nPaths := len(m.Paths)
-
-	// Precompute kernel support per observation.
-	type support struct {
-		paths []int
-		vals  []float64 // kernel value (box: 1)
-	}
-	supports := make([]support, len(obs))
-	for i, t := range obs {
-		var s support
-		for j, tau := range m.PathTimes {
-			if math.Abs(t-tau) <= cfg.KernelHalfWidth {
-				s.paths = append(s.paths, j)
-				s.vals = append(s.vals, 1)
-			}
-		}
-		if len(s.paths) == 0 {
-			// No path within the kernel: soft-assign to the nearest path
-			// so the observation still informs the estimate.
-			best, bd := -1, math.Inf(1)
-			for j, tau := range m.PathTimes {
-				if d := math.Abs(t - tau); d < bd {
-					best, bd = j, d
-				}
-			}
-			s.paths = []int{best}
-			s.vals = []float64{1}
-			st.Unmatched += counts[i]
-		}
-		supports[i] = s
-	}
-
-	prior := make([]float64, nPaths)
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		st.Iterations = iter + 1
-		// Path priors under current θ.
-		for j, p := range m.Paths {
-			prior[j] = p.Prob(probs)
-		}
-
-		// E-step + M-step accumulation.
-		edgeW := make(map[[2]ir.BlockID]float64) // edge → expected traversals
-		ll := 0.0
-		for i := range obs {
-			s := supports[i]
-			den := 0.0
-			for k, j := range s.paths {
-				den += prior[j] * s.vals[k]
-			}
-			if den <= 0 {
-				// All supported paths currently have zero prior (can
-				// happen before smoothing kicks in); fall back to uniform
-				// responsibility over the support.
-				gamma := float64(counts[i]) / float64(len(s.paths))
-				for _, j := range s.paths {
-					accumulate(edgeW, m.Paths[j], gamma)
-				}
-				continue
-			}
-			ll += float64(counts[i]) * math.Log(den)
-			for k, j := range s.paths {
-				gamma := prior[j] * s.vals[k] / den * float64(counts[i])
-				accumulate(edgeW, m.Paths[j], gamma)
-			}
-		}
-		st.LogLikelihood = ll
-
-		// M-step: renormalize per branch block with smoothing.
-		next := probs.Clone()
-		maxDelta := 0.0
-		for _, u := range m.Unknowns {
-			total := 0.0
-			for _, e := range u.Edges {
-				total += edgeW[e] + cfg.Alpha
-			}
-			if total <= 0 {
-				continue
-			}
-			for _, e := range u.Edges {
-				p := (edgeW[e] + cfg.Alpha) / total
-				if d := math.Abs(p - next[e]); d > maxDelta {
-					maxDelta = d
-				}
-				next[e] = p
-			}
-		}
-		probs = next
-		if maxDelta < cfg.Tol {
-			st.Converged = true
-			break
-		}
-	}
-	return probs, st, nil
+	return estimateEMDense(m, obs, counts, cfg)
 }
 
-func accumulate(edgeW map[[2]ir.BlockID]float64, p *markov.Path, gamma float64) {
-	// Iterate the ordered arc list, not the map: floating-point sums must
-	// be reproducible run to run.
-	for _, a := range p.Arcs {
-		edgeW[a.Edge] += gamma * float64(a.Count)
+// validateSamples rejects non-finite durations at the estimation API
+// boundary: NaN keys collapse unpredictably in histograms and ±Inf
+// observations pin the nearest-path fallback to an arbitrary extreme.
+func validateSamples(samples []float64) error {
+	for i, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("tomography: sample %d is not finite (%v)", i, s)
+		}
 	}
+	return nil
 }
 
 // dedup collapses equal sample values into (value, count) pairs in
-// deterministic (ascending) order — durations are quantized, so this makes
-// the EM cost independent of the raw sample count.
+// ascending order — durations are quantized, so this makes the EM cost
+// independent of the raw sample count. Callers must have validated the
+// samples: NaN breaks both the sort and the run-length grouping.
 func dedup(samples []float64) ([]float64, []int) {
-	m := make(map[float64]int)
-	for _, s := range samples {
-		m[s]++
-	}
-	vals := make([]float64, 0, len(m))
-	for v := range m {
-		vals = append(vals, v)
-	}
-	sort.Float64s(vals)
-	counts := make([]int, len(vals))
-	for i, v := range vals {
-		counts[i] = m[v]
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	vals := make([]float64, 0, len(sorted))
+	counts := make([]int, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		vals = append(vals, sorted[i])
+		counts = append(counts, j-i)
+		i = j
 	}
 	return vals, counts
 }

@@ -12,6 +12,13 @@ import (
 // stops moving for several consecutive batches, letting a base station
 // stop spending radio bandwidth on a procedure whose probabilities have
 // stabilized.
+//
+// Two properties keep the per-round cost flat as the stream grows: the
+// accumulated observations are kept as a running sorted (value, count)
+// histogram that each batch is merged into (never re-deduplicated from
+// scratch), and every EM round warm-starts from the previous round's
+// probabilities, so a round that merely confirms the estimate costs a
+// couple of iterations instead of a full cold solve.
 type Incremental struct {
 	// Model is the path-enumeration model for one procedure.
 	Model *Model
@@ -24,7 +31,10 @@ type Incremental struct {
 	// the stream is declared converged (default 2).
 	Patience int
 
-	samples    []float64
+	samples []float64 // raw accumulated stream (Samples, robust re-trims)
+	obs     []float64 // running dedup histogram, ascending (EM fast path)
+	counts  []int
+
 	probs      markov.EdgeProbs
 	rounds     int
 	calm       int
@@ -52,13 +62,23 @@ func NewIncremental(m *Model, est Estimator, tol float64, patience int) *Increme
 // re-estimates over everything accumulated so far. Once the stream has
 // converged further batches are absorbed without re-estimating, so callers
 // may keep feeding data cheaply.
+//
+// Contract: samples must be finite (NaN/±Inf are rejected with an error
+// and the batch is not absorbed), and calling Observe while nothing has
+// been accumulated yet — an empty first batch — returns ErrNoSamples with
+// no estimate; the stream remains usable and a later non-empty batch
+// estimates normally. Callers draining unevenly-filled uplink rounds
+// should treat ErrNoSamples as "nothing to do yet", not a failure.
 func (inc *Incremental) Observe(batch []float64) (markov.EdgeProbs, error) {
+	if err := validateSamples(batch); err != nil {
+		return nil, err
+	}
 	inc.samples = append(inc.samples, batch...)
 	if inc.converged {
 		return inc.probs, nil
 	}
 	if len(inc.samples) == 0 {
-		return nil, nil
+		return nil, ErrNoSamples
 	}
 	inc.rounds++
 
@@ -68,15 +88,24 @@ func (inc *Incremental) Observe(batch []float64) (markov.EdgeProbs, error) {
 	)
 	// Go through the stats-reporting entry points directly when the
 	// estimator supports them, so per-round iteration counts, trims, and
-	// confidence surface in fleet observability.
+	// confidence surface in fleet observability — and so EM rounds can
+	// warm-start from the previous estimate and reuse the histogram.
 	switch est := inc.Est.(type) {
 	case EM:
+		cfg := est.Config
+		cfg.Init = inc.probs // nil on round one: uniform start
+		inc.merge(batch)
 		var st EMStats
-		probs, st, err = EstimateEM(inc.Model, inc.samples, est.Config)
+		probs, st, err = estimateEMDense(inc.Model, inc.obs, inc.counts, cfg)
 		inc.iterations += st.Iterations
 	case Robust:
+		// The robust trim depends on the full sample set (winsorization is
+		// quantile-based), so it runs over the raw stream; its inner EM
+		// still warm-starts.
+		cfg := est.Config
+		cfg.EM.Init = inc.probs
 		var st RobustStats
-		probs, st, err = EstimateRobust(inc.Model, inc.samples, est.Config)
+		probs, st, err = EstimateRobust(inc.Model, inc.samples, cfg)
 		inc.iterations += st.EM.Iterations
 		inc.trimmed = st.Trimmed
 		inc.confident = st.Confident
@@ -99,6 +128,40 @@ func (inc *Incremental) Observe(batch []float64) (markov.EdgeProbs, error) {
 	}
 	inc.probs = probs
 	return probs, nil
+}
+
+// merge folds one batch into the running (value, count) histogram: the
+// batch is deduplicated on its own and merged into the sorted run, so the
+// per-round cost is O(batch·log batch + distinct values) instead of
+// re-deduplicating the whole accumulated stream.
+func (inc *Incremental) merge(batch []float64) {
+	if len(batch) == 0 {
+		return
+	}
+	bv, bc := dedup(batch)
+	ov, oc := inc.obs, inc.counts
+	mv := make([]float64, 0, len(ov)+len(bv))
+	mc := make([]int, 0, len(oc)+len(bc))
+	i, j := 0, 0
+	for i < len(ov) && j < len(bv) {
+		switch {
+		case ov[i] < bv[j]:
+			mv, mc = append(mv, ov[i]), append(mc, oc[i])
+			i++
+		case ov[i] > bv[j]:
+			mv, mc = append(mv, bv[j]), append(mc, bc[j])
+			j++
+		default:
+			mv, mc = append(mv, ov[i]), append(mc, oc[i]+bc[j])
+			i++
+			j++
+		}
+	}
+	mv = append(mv, ov[i:]...)
+	mc = append(mc, oc[i:]...)
+	mv = append(mv, bv[j:]...)
+	mc = append(mc, bc[j:]...)
+	inc.obs, inc.counts = mv, mc
 }
 
 // Probs returns the latest estimate (nil before the first Observe).

@@ -1,7 +1,9 @@
 package tomography
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"codetomo/internal/ir"
@@ -75,14 +77,104 @@ func TestIncrementalStopsReestimatingAfterConvergence(t *testing.T) {
 }
 
 func TestIncrementalEmptyStream(t *testing.T) {
+	// Regression: an empty first batch used to return (nil, nil), which
+	// callers read as a (vacuous) estimate. The contract is now a typed
+	// sentinel the caller can errors.Is on and treat as "nothing yet".
 	m := twoArmModel(t, 40)
 	inc := NewIncremental(m, EM{}, 0, 0)
 	probs, err := inc.Observe(nil)
-	if err != nil || probs != nil {
-		t.Fatalf("empty stream: probs=%v err=%v", probs, err)
+	if !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("empty stream: err=%v, want ErrNoSamples", err)
+	}
+	if probs != nil {
+		t.Fatalf("empty stream: probs=%v, want nil", probs)
 	}
 	if inc.Rounds() != 0 || inc.Converged() {
 		t.Fatal("empty stream must not count as a round")
+	}
+
+	// The stream stays usable: a later non-empty batch estimates normally.
+	truth := markov.Uniform(m.Proc)
+	samples := sampleDurations(t, m, truth, 400, 1, 5)
+	if _, err := inc.Observe(samples); err != nil {
+		t.Fatalf("batch after empty round: %v", err)
+	}
+	if inc.Rounds() != 1 || inc.Probs() == nil {
+		t.Fatalf("rounds=%d probs=%v after recovery batch", inc.Rounds(), inc.Probs())
+	}
+}
+
+func TestIncrementalRejectsNonFinite(t *testing.T) {
+	m := twoArmModel(t, 40)
+	inc := NewIncremental(m, EM{}, 0, 0)
+	if _, err := inc.Observe([]float64{100, math.NaN()}); err == nil {
+		t.Fatal("NaN sample accepted")
+	}
+	if inc.SampleCount() != 0 {
+		t.Fatalf("rejected batch was absorbed: %d samples", inc.SampleCount())
+	}
+	if _, err := inc.Observe([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("+Inf sample accepted")
+	}
+}
+
+func TestIncrementalWarmStartMatchesBatch(t *testing.T) {
+	// Streaming with warm starts must land on the same estimate as the
+	// one-shot batch solve over the same accumulated samples (within the
+	// convergence tolerance), and the running histogram must agree with a
+	// from-scratch dedup of everything seen.
+	m := twoArmModel(t, 40)
+	truth := markov.Uniform(m.Proc)
+	truth[[2]ir.BlockID{0, 1}] = 0.8
+	truth[[2]ir.BlockID{0, 2}] = 0.2
+	samples := sampleDurations(t, m, truth, 3000, 1, 19)
+
+	cfg := EMConfig{KernelHalfWidth: 0.5}
+	inc := NewIncremental(m, EM{Config: cfg}, 0, 1000) // never declare converged
+	inc.Patience = 1 << 30
+	for i := 0; i < len(samples); i += 300 {
+		if _, err := inc.Observe(samples[i : i+300]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantObs, wantCounts := dedup(samples)
+	if !reflect.DeepEqual(inc.obs, wantObs) || !reflect.DeepEqual(inc.counts, wantCounts) {
+		t.Fatal("running histogram diverged from from-scratch dedup")
+	}
+	batch, _, err := EstimateEM(m, samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDelta(inc.Probs(), batch); d > 5e-3 {
+		t.Fatalf("warm-started stream differs from batch solve by %v", d)
+	}
+}
+
+func TestIncrementalWarmRoundCheaper(t *testing.T) {
+	// The acceptance criterion behind the warm start: a round that merely
+	// confirms a stable estimate should cost far fewer EM iterations than
+	// the cold first round.
+	// The wide kernel makes observation supports span both diamond arms,
+	// so EM has to walk in over many iterations from the uniform start;
+	// the warm round resumes next door to the optimum and needs strictly
+	// fewer. (With well-separated paths EM one-steps and warm starting is
+	// moot either way.)
+	m := syntheticModel(t)
+	truth := trueProbs(m, 0.7, 0.3)
+	samples := sampleDurations(t, m, truth, 4000, 1, 23)
+	cfg := EMConfig{KernelHalfWidth: 120, Tol: 1e-10, MaxIter: 500}
+	inc := NewIncremental(m, EM{Config: cfg}, 0, 1000)
+	inc.Patience = 1 << 30
+	if _, err := inc.Observe(samples[:3800]); err != nil {
+		t.Fatal(err)
+	}
+	cold := inc.Iterations()
+	if _, err := inc.Observe(samples[3800:]); err != nil {
+		t.Fatal(err)
+	}
+	warm := inc.Iterations() - cold
+	if warm >= cold {
+		t.Fatalf("warm round took %d iterations vs cold %d", warm, cold)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"codetomo/internal/cfg"
 	"codetomo/internal/compile"
@@ -49,6 +50,11 @@ type Model struct {
 	Truncated bool
 
 	Unknowns []Unknown
+
+	// Dense kernel inputs (markov.CompiledPaths + sorted path times),
+	// built lazily on first estimation and shared by concurrent streams.
+	compileOnce sync.Once
+	comp        *compiledModel
 }
 
 // NewModel builds the estimation model for one procedure of a compiled
@@ -139,13 +145,13 @@ func (m *Model) Coverage(samples []float64, halfWidth float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	// Binary search over the sorted path times; the predicate is exactly
+	// the linear scan's |s − τ| <= halfWidth.
+	times := m.compiled().times
 	hit := 0
 	for _, s := range samples {
-		for _, tau := range m.PathTimes {
-			if d := s - tau; d <= halfWidth && d >= -halfWidth {
-				hit++
-				break
-			}
+		if times.Within(s, halfWidth) {
+			hit++
 		}
 	}
 	return float64(hit) / float64(len(samples))

@@ -1,8 +1,6 @@
 package tomography
 
 import (
-	"fmt"
-	"math"
 	"sort"
 
 	"codetomo/internal/markov"
@@ -79,12 +77,15 @@ type RobustStats struct {
 func EstimateRobust(m *Model, samples []float64, cfg RobustConfig) (markov.EdgeProbs, RobustStats, error) {
 	cfg = cfg.withDefaults()
 	var st RobustStats
+	if err := validateSamples(samples); err != nil {
+		return nil, st, err
+	}
 	if len(m.Unknowns) == 0 {
 		st.Confident = true
 		return m.InitialProbs(), st, nil
 	}
 	if len(samples) == 0 {
-		return nil, st, fmt.Errorf("tomography: no samples")
+		return nil, st, ErrNoSamples
 	}
 	kept := trimOutliers(m, samples, cfg.OutlierWidth)
 	st.Trimmed = len(samples) - len(kept)
@@ -108,15 +109,14 @@ func EstimateRobust(m *Model, samples []float64, cfg RobustConfig) (markov.EdgeP
 // trimOutliers keeps the samples within width cycles of at least one
 // enumerated path duration, preserving input order. Everything else is
 // unexplainable by the model at any branch probability and would only
-// distort the EM responsibilities.
+// distort the EM responsibilities. The plausibility check binary-searches
+// the sorted path times (the predicate is exactly |s − τ| <= width).
 func trimOutliers(m *Model, samples []float64, width float64) []float64 {
+	times := m.compiled().times
 	kept := make([]float64, 0, len(samples))
 	for _, s := range samples {
-		for _, tau := range m.PathTimes {
-			if math.Abs(s-tau) <= width {
-				kept = append(kept, s)
-				break
-			}
+		if times.Within(s, width) {
+			kept = append(kept, s)
 		}
 	}
 	return kept

@@ -2,6 +2,7 @@ package codetomo
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"codetomo/internal/compile"
@@ -280,22 +281,60 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		Faults: cfg.Faults,
 	}
 	fst := fleet.Stats{Motes: cfg.Motes, SamplesPerProc: make(map[string]int)}
+
+	// One bounded pool serves the whole campaign: mote simulation (with
+	// per-mote uplink reassembly fused into each task), per-procedure
+	// model construction, and streaming estimation all share cfg.Workers
+	// slots. Simulation runs in the background while the base station
+	// builds estimation models — path enumeration is a pure function of
+	// the binary, so the estimation tier overlaps the fleet instead of
+	// serializing after it. Every task writes only its own slot, so
+	// results stay bit-identical across Workers and GOMAXPROCS.
+	pool := fleet.NewPool(cfg.Workers)
 	t0 := time.Now()
-	uploads, err := fleet.Simulate(sim, fleetSpecs(cfg))
-	if err != nil {
-		return nil, err
+	var (
+		uploads []fleet.ProcessedUpload
+		simErr  error
+		simDone = make(chan struct{})
+	)
+	go func() {
+		defer close(simDone)
+		uploads, simErr = fleet.SimulateReassembledOn(pool, sim, fleetSpecs(cfg))
+	}()
+
+	// Models for every branchy procedure, built concurrently with the
+	// simulation. Construction errors are deferred: they only matter for
+	// procedures that pass the sample-count gate below (matching the
+	// previous behaviour, which never built models for starved procs).
+	type builtModel struct {
+		model *tomography.Model
+		err   error
+	}
+	models := make([]builtModel, len(prof.CFG.Procs))
+	var mwg sync.WaitGroup
+	for i, p := range prof.CFG.Procs {
+		if len(p.BranchBlocks()) == 0 {
+			continue
+		}
+		i, name := i, p.Name
+		pool.Go(&mwg, func() {
+			m, err := tomography.NewModel(prof, name, cfg.Predictor, enum)
+			models[i] = builtModel{model: m, err: err}
+		})
+	}
+	mwg.Wait()
+	<-simDone
+	if simErr != nil {
+		return nil, simErr
 	}
 	fst.SimWall = time.Since(t0)
 
-	// 3. Reassemble each mote's stream (mote order) and batch the merged
-	// per-procedure samples into uplink rounds.
+	// 3. Merge per-mote uplink accounting (mote order — deterministic)
+	// and batch the per-procedure samples into uplink rounds.
 	t1 := time.Now()
 	perMote := make([]map[int][]float64, len(uploads))
 	for i, up := range uploads {
-		ivs, ust, err := fleet.Reassemble(up)
-		if err != nil {
-			return nil, err
-		}
+		ust := up.Uplink
 		fst.Link.Add(up.Link)
 		fst.ARQ.Add(up.ARQ)
 		fst.Resets += up.Stats.Resets
@@ -316,19 +355,14 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 			Retransmissions: up.ARQ.Retransmissions,
 			Recovered:       up.ARQ.Recovered,
 		})
-		durs := make(map[int][]float64)
-		for p, ticks := range trace.ExclusiveByProc(ivs) {
-			durs[p] = trace.DurationsCycles(ticks, cfg.TickDiv)
-		}
-		perMote[i] = durs
+		perMote[i] = up.Durations
 	}
 	rounds := fleet.BatchStreams(perMote, cfg.Batches)
 	fst.UplinkWall = time.Since(t1)
 
-	// 4. Build models for every estimable procedure, then estimate all
-	// streams in parallel (one goroutine per procedure, deterministic
-	// merge order).
-	oracleStats := fleet.MergeBranchStats(uploads)
+	// 4. Gate the prebuilt models on sample count and coverage, then
+	// estimate all streams on the same pool (deterministic merge order).
+	oracleStats := fleet.MergeBranchStatsProcessed(uploads)
 	type pending struct {
 		pe        ProcEstimate
 		streamIdx int // -1: fallback, no stream
@@ -338,7 +372,7 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	var pendings []pending
 	var streams []fleet.ProcStream
 	probs := make(map[string]markov.EdgeProbs)
-	for _, p := range prof.CFG.Procs {
+	for i, p := range prof.CFG.Procs {
 		pm := prof.Meta.ProcByName[p.Name]
 		if len(p.BranchBlocks()) == 0 {
 			probs[p.Name] = markov.Uniform(p)
@@ -354,15 +388,15 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		fst.SamplesPerProc[p.Name] = total
 		pd := pending{pe: ProcEstimate{Proc: p.Name, SampleCount: total}, streamIdx: -1}
 		if total >= cfg.MinSamples {
-			m, err := tomography.NewModel(prof, p.Name, cfg.Predictor, enum)
-			if err != nil {
-				return nil, fmt.Errorf("codetomo: model %s: %w", p.Name, err)
+			bm := models[i]
+			if bm.err != nil {
+				return nil, fmt.Errorf("codetomo: model %s: %w", p.Name, bm.err)
 			}
-			if m.Coverage(all, float64(cfg.TickDiv)) >= cfg.MinCoverage {
-				pd.model = m
+			if bm.model.Coverage(all, float64(cfg.TickDiv)) >= cfg.MinCoverage {
+				pd.model = bm.model
 				pd.oracle = profile.OracleProbs(pm, p, oracleStats)
 				pd.streamIdx = len(streams)
-				streams = append(streams, fleet.ProcStream{Name: p.Name, Model: m, Batches: batches})
+				streams = append(streams, fleet.ProcStream{Name: p.Name, Model: bm.model, Batches: batches})
 			}
 		}
 		if pd.streamIdx < 0 {
@@ -372,7 +406,7 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	}
 
 	t2 := time.Now()
-	outcomes, err := fleet.EstimateStreams(streams, cfg.Estimator, cfg.ConvergeTol, cfg.ConvergePatience)
+	outcomes, err := fleet.EstimateStreamsOn(pool, streams, cfg.Estimator, cfg.ConvergeTol, cfg.ConvergePatience)
 	if err != nil {
 		return nil, err
 	}

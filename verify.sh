@@ -28,6 +28,11 @@ go test -race ./...
 echo "== fuzz smoke (packet decoder)"
 go test ./internal/trace -run=NONE -fuzz=FuzzPacketDecode -fuzztime=5s
 
+echo "== bench smoke (estimation kernel)"
+# One iteration of every estimation benchmark: keeps the bench code
+# compiling and running without paying for stable timings.
+go test ./internal/tomography ./internal/markov -run='^$' -bench=. -benchtime=1x
+
 echo "== ctlint examples"
 go run ./cmd/ctlint examples/minic/*.mc
 
