@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"codetomo/internal/bench"
@@ -27,14 +29,41 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,ft1,ft2,k1) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,ft1,ft2,k1,s1) or 'all'")
 	samples := flag.Int("samples", 0, "handler invocations per profiling run (default from bench.DefaultConfig)")
 	seed := flag.Int64("seed", 0, "workload seed (default from bench.DefaultConfig)")
 	tick := flag.Int("tick", 0, "timer prescaler (default from bench.DefaultConfig)")
 	predictor := flag.String("predictor", "", "nt or btfn (default nt)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of result tables (machine-readable)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	if *samples > 0 {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	codetomo "codetomo"
@@ -58,8 +60,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perPacket := fs.Int("packet", 0, "trace events per radio packet (0 = default 32)")
 	batches := fs.Int("batches", 0, "uplink rounds for incremental estimation (0 = default 8)")
 	workers := fs.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ctfleet:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "ctfleet:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "ctfleet:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "ctfleet:", err)
+			}
+		}()
 	}
 	usage := func(format string, args ...any) int {
 		fmt.Fprintf(stderr, "ctfleet: "+format+"\n", args...)

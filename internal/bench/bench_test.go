@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -286,5 +286,28 @@ func TestFaultSweepShapes(t *testing.T) {
 	}
 	if worstMAE > wbound {
 		t.Fatalf("FT2: MAE at 40%% corruption %v exceeds bound %v\n%s", worstMAE, wbound, ft2.Render())
+	}
+}
+
+// TestInterpreterBench checks shape and the acceptance floor for s1: every
+// workload runs at least a million instructions, and InterpreterBench
+// itself errors if the fused and reference cores' Stats diverge. Timing
+// ratios are deliberately not asserted — wall-clock is too noisy under
+// instrumented builds.
+func TestInterpreterBench(t *testing.T) {
+	tab, err := InterpreterBench(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("S1 rows = %d, want 4\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		if mi := floatCell(t, row[2]); mi < 1.0 {
+			t.Fatalf("S1 %s/%s executed only %v Minstr, want >= 1\n%s", row[0], row[1], mi, tab.Render())
+		}
+		if !strings.HasSuffix(row[6], "x") {
+			t.Fatalf("S1 speedup cell %q not a ratio", row[6])
+		}
 	}
 }

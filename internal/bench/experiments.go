@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{"ft1", "Fault 1: naive vs hardened uplink under faults", FaultRecoverySweep},
 		{"ft2", "Fault 2: ARQ recovery cost vs corruption rate", ARQOverheadSweep},
 		{"k1", "Kernel 1: estimation kernel microbenchmarks", KernelBench},
+		{"s1", "Speed 1: interpreter core throughput (fused vs reference)", InterpreterBench},
 	}
 }
 

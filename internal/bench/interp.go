@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+
+	"codetomo/internal/isa"
+	"codetomo/internal/mote"
+	"codetomo/internal/report"
+)
+
+// The s1 workloads are hand-assembled M16 kernels sized so each run
+// executes at least a million instructions, covering the three dispatch
+// profiles that dominate real handler code: dense conditional branches,
+// straight-line ALU work, and call/return traffic through the stack.
+
+// interpBranchKernel is a nested counted loop whose body toggles a flag
+// and branches on it, so ~45% of executed instructions are conditional
+// branches with mixed outcomes. ~4.5*inner*outer instructions, then HALT.
+func interpBranchKernel(outer, inner int32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LDI, Rd: 3, Imm: outer},
+		{Op: isa.LDI, Rd: 4, Imm: -1},
+		{Op: isa.LDI, Rd: 1, Imm: inner},      // 2: outer loop head
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1}, // 3: inner loop head
+		{Op: isa.XORI, Rd: 2, Ra: 2, Imm: 1},
+		{Op: isa.BNZ, Ra: 2, Imm: 7}, // alternating taken/not-taken
+		{Op: isa.NOP},
+		{Op: isa.BNZ, Ra: 1, Imm: 3}, // 7: latch, taken inner-1 times
+		{Op: isa.ADD, Rd: 3, Ra: 3, Rb: 4},
+		{Op: isa.BNZ, Ra: 3, Imm: 2},
+		{Op: isa.HALT},
+	}
+}
+
+// interpALUKernel is a nested loop with a straight-line ALU body, so only
+// ~11% of executed instructions are branches. ~9*inner*outer instructions.
+func interpALUKernel(outer, inner int32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LDI, Rd: 5, Imm: outer},
+		{Op: isa.LDI, Rd: 6, Imm: -1},
+		{Op: isa.LDI, Rd: 7, Imm: 1},
+		{Op: isa.LDI, Rd: 1, Imm: inner},   // 3: outer loop head
+		{Op: isa.ADD, Rd: 2, Ra: 2, Rb: 1}, // 4: inner loop head
+		{Op: isa.XOR, Rd: 3, Ra: 3, Rb: 2},
+		{Op: isa.SHL, Rd: 4, Ra: 2, Rb: 7},
+		{Op: isa.AND, Rd: 4, Ra: 4, Rb: 3},
+		{Op: isa.OR, Rd: 2, Ra: 2, Rb: 4},
+		{Op: isa.SUB, Rd: 3, Ra: 3, Rb: 6},
+		{Op: isa.SLT, Rd: 8, Ra: 3, Rb: 2},
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1},
+		{Op: isa.BNZ, Ra: 1, Imm: 4},
+		{Op: isa.ADD, Rd: 5, Ra: 5, Rb: 6},
+		{Op: isa.BNZ, Ra: 5, Imm: 3},
+		{Op: isa.HALT},
+	}
+}
+
+// interpCallKernel is a nested loop whose inner body calls a leaf that
+// pushes and pops, exercising CALL/RET and stack traffic on every
+// iteration. ~7*inner*outer instructions.
+func interpCallKernel(outer, inner int32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LDI, Rd: 5, Imm: outer},
+		{Op: isa.LDI, Rd: 6, Imm: -1},
+		{Op: isa.LDI, Rd: 1, Imm: inner}, // 2: outer loop head
+		{Op: isa.CALL, Imm: 9},           // 3: inner loop head
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1},
+		{Op: isa.BNZ, Ra: 1, Imm: 3},
+		{Op: isa.ADD, Rd: 5, Ra: 5, Rb: 6},
+		{Op: isa.BNZ, Ra: 5, Imm: 2},
+		{Op: isa.HALT},
+		{Op: isa.PUSH, Ra: 2}, // 9: leaf
+		{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 1},
+		{Op: isa.POP, Rd: 2},
+		{Op: isa.RET},
+	}
+}
+
+// InterpreterBench (experiment s1) measures raw interpreter throughput:
+// the fused segment-dispatch core (Machine.Run) against the retained
+// Step-loop reference core (Machine.RunReference) on workloads of at
+// least a million executed instructions each. Before a row is reported
+// the final Stats of the two cores are compared; any divergence is an
+// error, so the committed numbers double as an equivalence check.
+// `ctbench -exp s1 -json` emits the form committed as BENCH_PR5.json.
+func InterpreterBench(c Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "S1: interpreter core throughput (fused Run vs reference Step loop)",
+		Header: []string{"workload", "predictor", "Minstr", "branch%", "reference Mi/s", "fused Mi/s", "speedup"},
+		Note:   "medians of 5 runs; reference = Step-loop core (RunReference), fused = segment-dispatch core (Run); final Stats of both cores are checked for equality before each row is reported",
+	}
+	cases := []struct {
+		name  string
+		prog  []isa.Instr
+		pname string
+		fresh func() mote.Predictor
+	}{
+		{"branch-heavy", interpBranchKernel(250, 1000), "not-taken",
+			func() mote.Predictor { return mote.StaticNotTaken{} }},
+		{"branch-heavy", interpBranchKernel(250, 1000), "bimodal-6",
+			func() mote.Predictor { return mote.NewBimodal(6) }},
+		{"alu-mix", interpALUKernel(120, 1000), "not-taken",
+			func() mote.Predictor { return mote.StaticNotTaken{} }},
+		{"call-ret", interpCallKernel(150, 1000), "btfn",
+			func() mote.Predictor { return mote.BTFN{} }},
+	}
+	const runs = 5
+	const budget = uint64(1) << 40
+	for _, cs := range cases {
+		mk := func() *mote.Machine {
+			mc := mote.DefaultConfig()
+			mc.RAMWords = 64
+			mc.Predictor = cs.fresh()
+			return mote.New(cs.prog, mc)
+		}
+		// Machines are pre-built so the timed region is the dispatch loop
+		// alone; each run gets a fresh machine (and fresh predictor state).
+		refMachines := make([]*mote.Machine, runs)
+		fusedMachines := make([]*mote.Machine, runs)
+		for i := 0; i < runs; i++ {
+			refMachines[i], fusedMachines[i] = mk(), mk()
+		}
+		i := 0
+		refSecs := medianSecs(runs, func() error {
+			m := refMachines[i]
+			i++
+			return m.RunReference(budget)
+		})
+		i = 0
+		fusedSecs := medianSecs(runs, func() error {
+			m := fusedMachines[i]
+			i++
+			return m.Run(budget)
+		})
+		if refSecs < 0 || fusedSecs < 0 {
+			return nil, fmt.Errorf("s1 %s/%s: core run failed", cs.name, cs.pname)
+		}
+		rs, fs := refMachines[0].Stats(), fusedMachines[0].Stats()
+		if rs != fs {
+			return nil, fmt.Errorf("s1 %s/%s: cores diverge:\n  reference %+v\n  fused     %+v",
+				cs.name, cs.pname, rs, fs)
+		}
+		mi := float64(fs.Instructions) / 1e6
+		brPct := 100 * float64(fs.CondBranches) / float64(fs.Instructions)
+		t.AddRow(cs.name, cs.pname, report.F(mi, 2), report.F(brPct, 1)+"%",
+			report.F(mi/refSecs, 0), report.F(mi/fusedSecs, 0),
+			report.F(refSecs/fusedSecs, 1)+"x")
+	}
+	return t, nil
+}

@@ -126,6 +126,9 @@ func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
 		if a.Link != b.Link || a.EventsLogged != b.EventsLogged {
 			t.Fatalf("mote %d differs across worker counts: %+v vs %+v", i, a.Link, b.Link)
 		}
+		if a.Stats != b.Stats {
+			t.Fatalf("mote %d execution stats differ across worker counts: %+v vs %+v", i, a.Stats, b.Stats)
+		}
 		if !reflect.DeepEqual(a.Frames, b.Frames) {
 			t.Fatalf("mote %d delivered different frame streams", i)
 		}

@@ -1,0 +1,102 @@
+package mote
+
+import (
+	"testing"
+
+	"codetomo/internal/isa"
+)
+
+// branchyProg assembles the branch-heavy kernel the interpreter benchmarks
+// run: a nested counted loop whose body toggles a flag and branches on it,
+// so ~45% of executed instructions are conditional branches with mixed
+// outcomes. It executes ~4.5*inner*outer instructions and halts.
+func branchyProg(outer, inner int32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LDI, Rd: 3, Imm: outer},
+		{Op: isa.LDI, Rd: 4, Imm: -1},
+		{Op: isa.LDI, Rd: 1, Imm: inner},      // 2: outer loop head
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1}, // 3: inner loop head
+		{Op: isa.XORI, Rd: 2, Ra: 2, Imm: 1},
+		{Op: isa.BNZ, Ra: 2, Imm: 7}, // alternating taken/not-taken
+		{Op: isa.NOP},
+		{Op: isa.BNZ, Ra: 1, Imm: 3}, // 7: latch, taken inner-1 times
+		{Op: isa.ADD, Rd: 3, Ra: 3, Rb: 4},
+		{Op: isa.BNZ, Ra: 3, Imm: 2},
+		{Op: isa.HALT},
+	}
+}
+
+// benchCfg keeps per-machine allocations small so pre-building one machine
+// per benchmark iteration stays cheap.
+func benchCfg() Config {
+	cfg := DefaultConfig()
+	cfg.RAMWords = 64
+	return cfg
+}
+
+// runCore benchmarks one interpreter core on the branch-heavy kernel.
+// Machines are pre-built outside the timed region, so allocs/op reports
+// the dispatch loop alone — which must be zero.
+func runCore(b *testing.B, run func(*Machine) error) {
+	prog := branchyProg(20, 5000) // ~450k instructions per run
+	cfg := benchCfg()
+	machines := make([]*Machine, b.N)
+	for i := range machines {
+		machines[i] = New(prog, cfg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(machines[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		instrs := machines[0].Stats().Instructions
+		b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	runCore(b, func(m *Machine) error { return m.Run(1 << 40) })
+}
+
+func BenchmarkStep(b *testing.B) {
+	runCore(b, func(m *Machine) error { return m.RunReference(1 << 40) })
+}
+
+// Both cores must execute the dispatch loop without allocating: the fused
+// loop by construction, the reference Step since the per-call closure and
+// the per-branch map insert were removed.
+func TestCoresAllocateNothingPerInstruction(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	prog := branchyProg(2, 500)
+	cfg := benchCfg()
+	cores := []struct {
+		name string
+		run  func(*Machine) error
+	}{
+		{"fused", func(m *Machine) error { return m.Run(1 << 40) }},
+		{"reference", func(m *Machine) error { return m.RunReference(1 << 40) }},
+	}
+	for _, core := range cores {
+		const rounds = 10
+		machines := make([]*Machine, rounds+1) // +1 for AllocsPerRun's warm-up call
+		for i := range machines {
+			machines[i] = New(prog, cfg)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(rounds, func() {
+			if err := core.run(machines[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s core: %v allocs per run, want 0", core.name, avg)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package mote
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"codetomo/internal/isa"
+)
+
+// The differential property test: the fused core (Run) and the reference
+// core (Step/RunReference) must be bit-identical on random programs under
+// random configurations — same error (or none), same Stats, registers,
+// pc, sp, data memory, trace buffer, peripheral state, ground-truth
+// branch table, and profiling counters. Budgets are fed in installments
+// so budget exhaustion and resumption land mid-run, and reset schedules
+// force the fused core through multiple cycle-bounded segments.
+
+// lcgTestSource is a deterministic peripheral feed; each core gets its
+// own instance with the same seed so sampled values match step for step.
+type lcgTestSource struct{ s uint32 }
+
+func (l *lcgTestSource) Next() uint16 {
+	l.s = l.s*1664525 + 1013904223
+	return uint16(l.s >> 16)
+}
+
+// parityPredictor is a custom trainable predictor the machine cannot
+// devirtualize, exercising the generic interface path in both cores.
+type parityPredictor struct{ seen map[int32]uint64 }
+
+func (p *parityPredictor) PredictTaken(pc int32, _ isa.Instr) bool {
+	return (p.seen[pc]+uint64(pc))%2 == 1
+}
+
+func (p *parityPredictor) Train(pc int32, taken bool) {
+	if taken {
+		p.seen[pc]++
+	}
+}
+
+func (p *parityPredictor) Name() string { return "test-parity" }
+
+// oddPC is a custom non-trainable predictor (generic path, no Train).
+type oddPC struct{}
+
+func (oddPC) PredictTaken(pc int32, _ isa.Instr) bool { return pc%2 == 1 }
+
+func (oddPC) Name() string { return "test-oddpc" }
+
+// randInstr draws one instruction with valid opcode and register fields.
+// Branch and jump targets usually land inside the program (with a tail of
+// out-of-range targets to exercise pc faults), memory offsets hover
+// around the valid window, and ports/IDs stay in their small ranges.
+func randInstr(r *rand.Rand, progLen, ramWords int) isa.Instr {
+	// Weighted opcode choice: branch-heavy, with all opcode classes
+	// represented.
+	ops := []isa.Op{
+		isa.NOP, isa.LDI, isa.LDI, isa.MOV, isa.ADD, isa.SUB, isa.MUL,
+		isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+		isa.SAR, isa.ADDI, isa.ADDI, isa.XORI, isa.SLT, isa.SLTU, isa.SEQ,
+		isa.LD, isa.ST, isa.PUSH, isa.POP, isa.SPADJ, isa.GETSP,
+		isa.JMP, isa.BZ, isa.BZ, isa.BNZ, isa.BNZ, isa.BEQ, isa.BNE,
+		isa.BLT, isa.BGE, isa.CALL, isa.RET, isa.IN, isa.OUT,
+		isa.TRACE, isa.TRACE, isa.PROFCNT, isa.HALT,
+	}
+	op := ops[r.Intn(len(ops))]
+	in := isa.Instr{
+		Op: op,
+		Rd: isa.Reg(r.Intn(16)),
+		Ra: isa.Reg(r.Intn(16)),
+		Rb: isa.Reg(r.Intn(16)),
+	}
+	switch op {
+	case isa.JMP, isa.BZ, isa.BNZ, isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.CALL:
+		if r.Intn(10) == 0 {
+			in.Imm = int32(r.Intn(2*progLen+4)) - int32(progLen) - 2 // may be out of range
+		} else {
+			in.Imm = int32(r.Intn(progLen))
+		}
+	case isa.LD, isa.ST:
+		in.Imm = int32(r.Intn(ramWords+8)) - 4 // mostly valid, some faults
+	case isa.SPADJ:
+		in.Imm = int32(r.Intn(9)) - 4
+	case isa.IN, isa.OUT:
+		in.Imm = int32(r.Intn(8)) // ports 0..6 plus one unmapped
+	case isa.TRACE, isa.PROFCNT:
+		in.Imm = int32(r.Intn(4))
+	case isa.LDI, isa.ADDI, isa.XORI:
+		in.Imm = int32(r.Intn(1<<16)) - (1 << 15)
+	}
+	return in
+}
+
+func randProg(r *rand.Rand, ramWords int) []isa.Instr {
+	n := 4 + r.Intn(37)
+	prog := make([]isa.Instr, n)
+	for i := range prog {
+		prog[i] = randInstr(r, n, ramWords)
+	}
+	prog[n-1] = isa.Instr{Op: isa.HALT}
+	return prog
+}
+
+// randCfgPair builds two identical configurations with independent
+// mutable parts (predictor state, peripheral streams) so the two cores
+// cannot influence each other.
+func randCfgPair(r *rand.Rand) (Config, Config) {
+	ram := 16 + r.Intn(49)
+	tick := 1 + r.Intn(8)
+	var traceMax int
+	if r.Intn(3) == 0 {
+		traceMax = 1 + r.Intn(4) // tiny: exercise trace overflow
+	}
+	offset := uint64(r.Intn(1 << 12))
+	var resets []ResetEvent
+	at := uint64(0)
+	for i := r.Intn(4); i > 0; i-- {
+		at += 1 + uint64(r.Intn(800))
+		resets = append(resets, ResetEvent{AtCycle: at, DownCycles: uint64(r.Intn(50))})
+	}
+	seed := r.Uint32()
+	predKind := r.Intn(5)
+	mk := func() Config {
+		cfg := Config{
+			RAMWords:         ram,
+			TickDiv:          tick,
+			MaxTraceEvents:   traceMax,
+			ClockOffsetTicks: offset,
+			Resets:           resets,
+			Sensor:           &lcgTestSource{s: seed},
+			Entropy:          &lcgTestSource{s: seed ^ 0x9e3779b9},
+		}
+		switch predKind {
+		case 0:
+			cfg.Predictor = StaticNotTaken{}
+		case 1:
+			cfg.Predictor = BTFN{}
+		case 2:
+			cfg.Predictor = NewBimodal(3)
+		case 3:
+			cfg.Predictor = &parityPredictor{seen: make(map[int32]uint64)}
+		case 4:
+			cfg.Predictor = oddPC{}
+		}
+		return cfg
+	}
+	return mk(), mk()
+}
+
+// compareState asserts every observable (and internal) piece of machine
+// state matches between the fused-core and reference-core machines.
+func compareState(t *testing.T, tag string, fused, ref *Machine, errF, errR error) {
+	t.Helper()
+	if (errF == nil) != (errR == nil) || (errF != nil && errF.Error() != errR.Error()) {
+		t.Fatalf("%s: error mismatch:\n  fused: %v\n  ref:   %v", tag, errF, errR)
+	}
+	if fused.stats != ref.stats {
+		t.Fatalf("%s: stats mismatch:\n  fused: %+v\n  ref:   %+v", tag, fused.stats, ref.stats)
+	}
+	if fused.pc != ref.pc || fused.sp != ref.sp || fused.halted != ref.halted {
+		t.Fatalf("%s: pc/sp/halted mismatch: fused pc=%d sp=%d halted=%v, ref pc=%d sp=%d halted=%v",
+			tag, fused.pc, fused.sp, fused.halted, ref.pc, ref.sp, ref.halted)
+	}
+	if fused.regs != ref.regs {
+		t.Fatalf("%s: register mismatch:\n  fused: %v\n  ref:   %v", tag, fused.regs, ref.regs)
+	}
+	if !reflect.DeepEqual(fused.mem, ref.mem) {
+		t.Fatalf("%s: data memory mismatch", tag)
+	}
+	if !reflect.DeepEqual(fused.trace, ref.trace) {
+		t.Fatalf("%s: trace mismatch:\n  fused: %v\n  ref:   %v", tag, fused.trace, ref.trace)
+	}
+	if !reflect.DeepEqual(fused.branchStat, ref.branchStat) {
+		t.Fatalf("%s: branch ground truth mismatch", tag)
+	}
+	if !reflect.DeepEqual(fused.profCnt, ref.profCnt) {
+		t.Fatalf("%s: profile counter mismatch", tag)
+	}
+	if !reflect.DeepEqual(fused.debugOut, ref.debugOut) ||
+		!reflect.DeepEqual(fused.radioBuf, ref.radioBuf) ||
+		fused.ledState != ref.ledState {
+		t.Fatalf("%s: peripheral state mismatch", tag)
+	}
+}
+
+func TestDifferentialFusedVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(0x7060C0DE))
+	const cases = 600
+	for c := 0; c < cases; c++ {
+		cfgF, cfgR := randCfgPair(r)
+		prog := randProg(r, cfgF.RAMWords)
+		fused := New(prog, cfgF)
+		ref := New(prog, cfgR)
+
+		// Feed the budget in installments so exhaustion and resumption
+		// land mid-run; the final installment is large enough for any
+		// halting program to finish and bounds the non-halting ones.
+		budget := uint64(r.Intn(600))
+		installments := []uint64{budget, budget + uint64(r.Intn(2000)), 50000}
+		for k, b := range installments {
+			errF := fused.Run(b)
+			errR := ref.RunReference(b)
+			tag := fmt.Sprintf("case %d installment %d budget %d", c, k, b)
+			compareState(t, tag, fused, ref, errF, errR)
+			// A fault is not terminal for the comparison: rerunning a
+			// faulted machine re-executes the faulting instruction in
+			// both cores, which the next installment verifies too.
+		}
+	}
+}

@@ -154,7 +154,17 @@ type Machine struct {
 	debugOut   []uint16
 	trace      []TraceEvent
 	profCnt    map[int32]uint64
-	branchStat map[int32]*BranchStat
+	branchStat []BranchStat // dense ground-truth table, indexed by pc
+
+	// Precomputed fast-path state shared by both cores (see run.go): the
+	// per-opcode cycle table padded to the full opcode byte range so a
+	// uint8 index needs no bounds check, the misprediction penalty widened
+	// once, and the devirtualized predictor.
+	costs     [256]uint32
+	penalty   uint64
+	predKind  uint8
+	bimodal   *Bimodal
+	trainable TrainablePredictor
 
 	stats Stats
 }
@@ -182,14 +192,31 @@ func New(prog []isa.Instr, cfg Config) *Machine {
 	if cfg.Entropy == nil {
 		cfg.Entropy = zeroSource{}
 	}
-	return &Machine{
+	m := &Machine{
 		prog:       prog,
 		cfg:        cfg,
 		sp:         int32(cfg.RAMWords),
 		mem:        make([]uint16, cfg.RAMWords),
 		profCnt:    make(map[int32]uint64),
-		branchStat: make(map[int32]*BranchStat),
+		branchStat: make([]BranchStat, len(prog)),
+		penalty:    uint64(cfg.Cost.TakenPenalty),
 	}
+	for op, cyc := range cfg.Cost.Cycles {
+		m.costs[op] = cyc
+	}
+	switch p := cfg.Predictor.(type) {
+	case StaticNotTaken:
+		m.predKind = predNotTaken
+	case BTFN:
+		m.predKind = predBTFN
+	case *Bimodal:
+		m.predKind = predBimodal
+		m.bimodal = p
+	default:
+		m.predKind = predGeneric
+		m.trainable, _ = cfg.Predictor.(TrainablePredictor)
+	}
+	return m
 }
 
 // Stats returns the architectural counters accumulated so far.
@@ -202,8 +229,18 @@ func (m *Machine) Trace() []TraceEvent { return m.trace }
 func (m *Machine) ProfileCounters() map[int32]uint64 { return m.profCnt }
 
 // BranchStats returns ground-truth per-branch outcome counts keyed by the
-// branch instruction's address.
-func (m *Machine) BranchStats() map[int32]*BranchStat { return m.branchStat }
+// branch instruction's address. The map is a view built per call over the
+// machine's dense per-pc table; the *BranchStat values alias that table,
+// so they keep updating if the machine runs further.
+func (m *Machine) BranchStats() map[int32]*BranchStat {
+	out := make(map[int32]*BranchStat)
+	for pc := range m.branchStat {
+		if st := &m.branchStat[pc]; st.Taken != 0 || st.NotTaken != 0 {
+			out[int32(pc)] = st
+		}
+	}
+	return out
+}
 
 // DebugOutput returns the words written to the debug port.
 func (m *Machine) DebugOutput() []uint16 { return m.debugOut }
@@ -244,10 +281,13 @@ func (m *Machine) SetMem(addr int, v uint16) error {
 	return nil
 }
 
-// Run executes until HALT, an execution fault, or the cycle budget is
-// exhausted. A HALT stop returns nil; budget exhaustion returns
-// ErrCycleBudget wrapped with position info.
-func (m *Machine) Run(maxCycles uint64) error {
+// RunReference executes until HALT, an execution fault, or the cycle
+// budget is exhausted, one Step call per instruction. It is the reference
+// core: Run (the fused core, see run.go) must stop with the same error at
+// the same pc after the same cycle count, a contract pinned by the
+// differential property test and FuzzFastCore. A HALT stop returns nil;
+// budget exhaustion returns ErrCycleBudget wrapped with position info.
+func (m *Machine) RunReference(maxCycles uint64) error {
 	for !m.halted {
 		if m.stats.Cycles >= maxCycles {
 			return fmt.Errorf("%w at pc=%d after %d instructions", ErrCycleBudget, m.pc, m.stats.Instructions)
@@ -259,8 +299,10 @@ func (m *Machine) Run(maxCycles uint64) error {
 	return nil
 }
 
-// Step executes a single instruction, or takes a pending fault-injected
-// reset when its scheduled cycle has been reached.
+// Step executes a single instruction on the reference core, or takes a
+// pending fault-injected reset when its scheduled cycle has been reached.
+// It is the public single-step API (sampling profilers and debuggers hook
+// it); the batch path is Run's fused loop.
 func (m *Machine) Step() error {
 	if m.halted {
 		return nil
@@ -277,8 +319,6 @@ func (m *Machine) Step() error {
 	cost := uint64(m.cfg.Cost.InstrCycles(in))
 	nextPC := m.pc + 1
 	m.stats.Instructions++
-
-	signed := func(r isa.Reg) int16 { return int16(m.regs[r]) }
 
 	switch in.Op {
 	case isa.NOP:
@@ -298,12 +338,12 @@ func (m *Machine) Step() error {
 		if m.regs[in.Rb] == 0 {
 			return fmt.Errorf("%w at pc=%d", ErrDivByZero, m.pc)
 		}
-		m.regs[in.Rd] = uint16(signed(in.Ra) / signed(in.Rb))
+		m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) / int16(m.regs[in.Rb]))
 	case isa.MOD:
 		if m.regs[in.Rb] == 0 {
 			return fmt.Errorf("%w at pc=%d", ErrDivByZero, m.pc)
 		}
-		m.regs[in.Rd] = uint16(signed(in.Ra) % signed(in.Rb))
+		m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) % int16(m.regs[in.Rb]))
 	case isa.AND:
 		m.regs[in.Rd] = m.regs[in.Ra] & m.regs[in.Rb]
 	case isa.OR:
@@ -315,13 +355,13 @@ func (m *Machine) Step() error {
 	case isa.SHR:
 		m.regs[in.Rd] = m.regs[in.Ra] >> (m.regs[in.Rb] & 15)
 	case isa.SAR:
-		m.regs[in.Rd] = uint16(signed(in.Ra) >> (m.regs[in.Rb] & 15))
+		m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) >> (m.regs[in.Rb] & 15))
 	case isa.ADDI:
 		m.regs[in.Rd] = m.regs[in.Ra] + uint16(in.Imm)
 	case isa.XORI:
 		m.regs[in.Rd] = m.regs[in.Ra] ^ uint16(in.Imm)
 	case isa.SLT:
-		m.regs[in.Rd] = boolWord(signed(in.Ra) < signed(in.Rb))
+		m.regs[in.Rd] = boolWord(int16(m.regs[in.Ra]) < int16(m.regs[in.Rb]))
 	case isa.SLTU:
 		m.regs[in.Rd] = boolWord(m.regs[in.Ra] < m.regs[in.Rb])
 	case isa.SEQ:
@@ -374,16 +414,12 @@ func (m *Machine) Step() error {
 		case isa.BNE:
 			taken = m.regs[in.Ra] != m.regs[in.Rb]
 		case isa.BLT:
-			taken = signed(in.Ra) < signed(in.Rb)
+			taken = int16(m.regs[in.Ra]) < int16(m.regs[in.Rb])
 		case isa.BGE:
-			taken = signed(in.Ra) >= signed(in.Rb)
+			taken = int16(m.regs[in.Ra]) >= int16(m.regs[in.Rb])
 		}
 		m.stats.CondBranches++
-		st := m.branchStat[m.pc]
-		if st == nil {
-			st = &BranchStat{}
-			m.branchStat[m.pc] = st
-		}
+		st := &m.branchStat[m.pc]
 		predictedTaken := m.cfg.Predictor.PredictTaken(m.pc, in)
 		if taken {
 			m.stats.TakenBranches++

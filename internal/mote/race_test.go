@@ -1,0 +1,7 @@
+//go:build race
+
+package mote
+
+// raceEnabled reports whether the race detector instruments this build;
+// the zero-allocation assertions skip under it.
+const raceEnabled = true

@@ -1,0 +1,314 @@
+package mote
+
+import (
+	"fmt"
+
+	"codetomo/internal/isa"
+)
+
+// Devirtualized predictor kinds, resolved once in New from the concrete
+// type of Config.Predictor. The fused loop dispatches on this small
+// integer instead of making an interface call (plus a TrainablePredictor
+// type assertion) per conditional branch.
+const (
+	predGeneric uint8 = iota // unknown implementation: interface calls
+	predNotTaken
+	predBTFN
+	predBimodal
+)
+
+// Run executes until HALT, an execution fault, or the cycle budget is
+// exhausted. A HALT stop returns nil; budget exhaustion returns
+// ErrCycleBudget wrapped with position info.
+//
+// Run is the fused interpreter core: instead of calling Step once per
+// instruction it dispatches inline, with the per-instruction overheads
+// hoisted out of the loop — the fault-reset schedule and budget checks
+// collapse into cycle-bounded segments, the predictor is devirtualized,
+// branch ground truth lands in a dense pc-indexed table, and the opcode
+// cost table is a flat 256-entry array. It allocates nothing per
+// instruction. The differential property test and FuzzFastCore pin it
+// bit-identical to the Step/RunReference core: same Stats (including the
+// cycle count and pc reported on budget exhaustion), trace, registers,
+// and memory.
+func (m *Machine) Run(maxCycles uint64) error {
+	for !m.halted {
+		if m.stats.Cycles >= maxCycles {
+			return fmt.Errorf("%w at pc=%d after %d instructions", ErrCycleBudget, m.pc, m.stats.Instructions)
+		}
+		if m.resetIdx < len(m.cfg.Resets) && m.stats.Cycles >= m.cfg.Resets[m.resetIdx].AtCycle {
+			m.reboot(m.cfg.Resets[m.resetIdx].DownCycles)
+			m.resetIdx++
+			continue
+		}
+		// Within [Cycles, stop) neither the budget nor a reset can fire,
+		// so the inner loop needs no per-instruction schedule checks. Both
+		// bounds are strictly above the current cycle count here, so every
+		// segment makes progress and exits with the exact cycle count and
+		// pc the per-Step checks of the reference core would see.
+		stop := maxCycles
+		if m.resetIdx < len(m.cfg.Resets) && m.cfg.Resets[m.resetIdx].AtCycle < stop {
+			stop = m.cfg.Resets[m.resetIdx].AtCycle
+		}
+		if err := m.runSegment(stop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSegment is the hot dispatch loop: execute instructions until the
+// cycle counter reaches stop, the program halts, or an execution fault
+// stops it.
+//
+// Only the values live across every iteration — pc, cycles, instrs, and
+// the program slice — are held in locals; everything else is addressed
+// off m, which occupies a single register. Keeping the cross-iteration
+// set this small is what lets the compiler keep the dispatch tail free
+// of stack traffic: with more live values each switch case ends in a
+// dozen spill/reload moves to satisfy the loop-head merge, which costs
+// more than the interpreted work itself. For the same reason HALT
+// returns directly (no per-instruction halted flag) and faults jump to
+// a cold shared exit, so the hot tail is just the cycle charge and the
+// pc update.
+func (m *Machine) runSegment(stop uint64) error {
+	prog := m.prog
+	pc := m.pc
+	cycles, instrs := m.stats.Cycles, m.stats.Instructions
+	var err error
+
+	for cycles < stop {
+		i := int(pc)
+		if uint(i) >= uint(len(prog)) {
+			err = fmt.Errorf("%w: pc=%d", ErrPCFault, pc)
+			goto fault
+		}
+		in := &prog[i]
+		cost := uint64(m.costs[in.Op])
+		next := pc + 1
+		instrs++
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			m.halted = true
+			m.pc = next
+			m.stats.Cycles, m.stats.Instructions = cycles+cost, instrs
+			return nil
+		case isa.LDI:
+			m.regs[in.Rd] = uint16(in.Imm)
+		case isa.MOV:
+			m.regs[in.Rd] = m.regs[in.Ra]
+		case isa.ADD:
+			m.regs[in.Rd] = m.regs[in.Ra] + m.regs[in.Rb]
+		case isa.SUB:
+			m.regs[in.Rd] = m.regs[in.Ra] - m.regs[in.Rb]
+		case isa.MUL:
+			m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) * int16(m.regs[in.Rb]))
+		case isa.DIV:
+			if m.regs[in.Rb] == 0 {
+				err = fmt.Errorf("%w at pc=%d", ErrDivByZero, pc)
+				goto fault
+			}
+			m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) / int16(m.regs[in.Rb]))
+		case isa.MOD:
+			if m.regs[in.Rb] == 0 {
+				err = fmt.Errorf("%w at pc=%d", ErrDivByZero, pc)
+				goto fault
+			}
+			m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) % int16(m.regs[in.Rb]))
+		case isa.AND:
+			m.regs[in.Rd] = m.regs[in.Ra] & m.regs[in.Rb]
+		case isa.OR:
+			m.regs[in.Rd] = m.regs[in.Ra] | m.regs[in.Rb]
+		case isa.XOR:
+			m.regs[in.Rd] = m.regs[in.Ra] ^ m.regs[in.Rb]
+		case isa.SHL:
+			m.regs[in.Rd] = m.regs[in.Ra] << (m.regs[in.Rb] & 15)
+		case isa.SHR:
+			m.regs[in.Rd] = m.regs[in.Ra] >> (m.regs[in.Rb] & 15)
+		case isa.SAR:
+			m.regs[in.Rd] = uint16(int16(m.regs[in.Ra]) >> (m.regs[in.Rb] & 15))
+		case isa.ADDI:
+			m.regs[in.Rd] = m.regs[in.Ra] + uint16(in.Imm)
+		case isa.XORI:
+			m.regs[in.Rd] = m.regs[in.Ra] ^ uint16(in.Imm)
+		case isa.SLT:
+			m.regs[in.Rd] = boolWord(int16(m.regs[in.Ra]) < int16(m.regs[in.Rb]))
+		case isa.SLTU:
+			m.regs[in.Rd] = boolWord(m.regs[in.Ra] < m.regs[in.Rb])
+		case isa.SEQ:
+			m.regs[in.Rd] = boolWord(m.regs[in.Ra] == m.regs[in.Rb])
+		case isa.LD:
+			addr := int32(int16(m.regs[in.Ra])) + in.Imm
+			if addr < 0 || int(addr) >= len(m.mem) {
+				err = fmt.Errorf("%w: load addr %d at pc=%d", ErrMemFault, addr, pc)
+				goto fault
+			}
+			m.regs[in.Rd] = m.mem[addr]
+			m.stats.LoadsStores++
+		case isa.ST:
+			addr := int32(int16(m.regs[in.Ra])) + in.Imm
+			if addr < 0 || int(addr) >= len(m.mem) {
+				err = fmt.Errorf("%w: store addr %d at pc=%d", ErrMemFault, addr, pc)
+				goto fault
+			}
+			m.mem[addr] = m.regs[in.Rb]
+			m.stats.LoadsStores++
+		case isa.PUSH:
+			if m.sp <= 0 {
+				err = fmt.Errorf("%w: push with sp=%d at pc=%d", ErrStackFault, m.sp, pc)
+				goto fault
+			}
+			m.sp--
+			m.mem[m.sp] = m.regs[in.Ra]
+		case isa.POP:
+			if int(m.sp) >= len(m.mem) {
+				err = fmt.Errorf("%w: pop with sp=%d at pc=%d", ErrStackFault, m.sp, pc)
+				goto fault
+			}
+			m.regs[in.Rd] = m.mem[m.sp]
+			m.sp++
+		case isa.SPADJ:
+			ns := m.sp + in.Imm
+			if ns < 0 || int(ns) > len(m.mem) {
+				err = fmt.Errorf("%w: spadj to %d at pc=%d", ErrStackFault, ns, pc)
+				goto fault
+			}
+			m.sp = ns
+		case isa.GETSP:
+			m.regs[in.Rd] = uint16(m.sp)
+		case isa.JMP:
+			next = in.Imm
+		case isa.BZ, isa.BNZ, isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			var taken bool
+			switch in.Op {
+			case isa.BZ:
+				taken = m.regs[in.Ra] == 0
+			case isa.BNZ:
+				taken = m.regs[in.Ra] != 0
+			case isa.BEQ:
+				taken = m.regs[in.Ra] == m.regs[in.Rb]
+			case isa.BNE:
+				taken = m.regs[in.Ra] != m.regs[in.Rb]
+			case isa.BLT:
+				taken = int16(m.regs[in.Ra]) < int16(m.regs[in.Rb])
+			case isa.BGE:
+				taken = int16(m.regs[in.Ra]) >= int16(m.regs[in.Rb])
+			}
+			m.stats.CondBranches++
+			bs := &m.branchStat[pc]
+			var predicted bool
+			switch m.predKind {
+			case predNotTaken:
+				// predicted stays false
+			case predBTFN:
+				predicted = in.Imm <= pc
+			case predBimodal:
+				predicted = m.bimodal.table[pc&m.bimodal.mask] >= 2
+			default:
+				predicted = m.cfg.Predictor.PredictTaken(pc, *in)
+			}
+			if taken {
+				m.stats.TakenBranches++
+				bs.Taken++
+				next = in.Imm
+			} else {
+				bs.NotTaken++
+			}
+			if predicted != taken {
+				m.stats.Mispredicts++
+				bs.Mispred++
+				cost += m.penalty
+			}
+			switch m.predKind {
+			case predBimodal:
+				t := m.bimodal.table
+				j := pc & m.bimodal.mask
+				if taken {
+					if t[j] < 3 {
+						t[j]++
+					}
+				} else if t[j] > 0 {
+					t[j]--
+				}
+			case predGeneric:
+				if m.trainable != nil {
+					m.trainable.Train(pc, taken)
+				}
+			}
+		case isa.CALL:
+			if m.sp <= 0 {
+				err = fmt.Errorf("%w: call with sp=%d at pc=%d", ErrStackFault, m.sp, pc)
+				goto fault
+			}
+			m.sp--
+			m.mem[m.sp] = uint16(pc + 1)
+			next = in.Imm
+			m.stats.Calls++
+		case isa.RET:
+			if int(m.sp) >= len(m.mem) {
+				err = fmt.Errorf("%w: ret with sp=%d at pc=%d", ErrStackFault, m.sp, pc)
+				goto fault
+			}
+			next = int32(m.mem[m.sp])
+			m.sp++
+		case isa.IN:
+			switch in.Imm {
+			case isa.PortTimer:
+				m.regs[in.Rd] = uint16(cycles/uint64(m.cfg.TickDiv) + m.cfg.ClockOffsetTicks)
+			case isa.PortADC:
+				m.regs[in.Rd] = m.cfg.Sensor.Next()
+				m.stats.SensorReads++
+			case isa.PortRNG:
+				m.regs[in.Rd] = m.cfg.Entropy.Next()
+			case isa.PortRadioCtl:
+				m.regs[in.Rd] = 1 // last TX always succeeded in this model
+			default:
+				m.regs[in.Rd] = 0
+			}
+		case isa.OUT:
+			v := m.regs[in.Ra]
+			switch in.Imm {
+			case isa.PortLED:
+				m.ledState = v
+				m.stats.LEDWrites++
+			case isa.PortRadioData:
+				m.radioBuf = append(m.radioBuf, v)
+			case isa.PortRadioCtl:
+				if v != 0 {
+					m.stats.RadioPackets++
+					m.stats.RadioWords += uint64(len(m.radioBuf))
+					m.radioBuf = m.radioBuf[:0]
+				}
+			case isa.PortDebug:
+				m.debugOut = append(m.debugOut, v)
+			}
+		case isa.TRACE:
+			if len(m.trace) >= m.cfg.MaxTraceEvents {
+				err = fmt.Errorf("%w: %d events", ErrTraceOverflow, len(m.trace))
+				goto fault
+			}
+			m.trace = append(m.trace, TraceEvent{ID: in.Imm, Tick: cycles/uint64(m.cfg.TickDiv) + m.cfg.ClockOffsetTicks})
+		case isa.PROFCNT:
+			m.profCnt[in.Imm]++
+		default:
+			err = fmt.Errorf("%w: opcode %v at pc=%d", ErrBadInstr, in.Op, pc)
+			goto fault
+		}
+
+		cycles += cost
+		pc = next
+	}
+
+	m.pc = pc
+	m.stats.Cycles, m.stats.Instructions = cycles, instrs
+	return nil
+
+fault:
+	// Faults charge no cycles and leave pc on the faulting instruction,
+	// but the instruction itself was counted — same as the reference core.
+	m.pc = pc
+	m.stats.Cycles, m.stats.Instructions = cycles, instrs
+	return err
+}

@@ -28,10 +28,15 @@ go test -race ./...
 echo "== fuzz smoke (packet decoder)"
 go test ./internal/trace -run=NONE -fuzz=FuzzPacketDecode -fuzztime=5s
 
-echo "== bench smoke (estimation kernel)"
-# One iteration of every estimation benchmark: keeps the bench code
-# compiling and running without paying for stable timings.
-go test ./internal/tomography ./internal/markov -run='^$' -bench=. -benchtime=1x
+echo "== fuzz smoke (interpreter cores)"
+# Differential fuzzing of the fused dispatch core against the reference
+# Step core: any state divergence on a random program is a crash.
+go test ./internal/mote -run=NONE -fuzz=FuzzFastCore -fuzztime=5s
+
+echo "== bench smoke (estimation kernel, interpreter cores)"
+# One iteration of every benchmark: keeps the bench code compiling and
+# running without paying for stable timings.
+go test ./internal/tomography ./internal/markov ./internal/mote -run='^$' -bench=. -benchtime=1x
 
 echo "== ctlint examples"
 go run ./cmd/ctlint examples/minic/*.mc
