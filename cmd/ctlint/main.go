@@ -1,8 +1,10 @@
 // Command ctlint runs the MiniC static analyzer over source files and
 // prints positioned diagnostics: unused variables and parameters,
 // unreachable statements, constant branch conditions, dead stores,
-// maybe-uninitialized reads, and static cost bounds (stack depth,
-// recursion, flash size) against the M16 part limits.
+// maybe-uninitialized reads, value-range findings (dead-branch,
+// unreachable-block, loop-unbounded), and static cost bounds (provable
+// WCET cycles, stack depth, recursion, flash size) against the M16 part
+// limits.
 //
 // Usage:
 //
@@ -24,7 +26,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	costs := flag.Bool("costs", false, "include an informational cost summary per procedure")
-	maxCycles := flag.Uint64("max-cycles", 0, "warn when a loop-free procedure's worst-case path exceeds this many cycles (0 = off)")
+	maxCycles := flag.Uint64("max-cycles", 0, "warn when a procedure's provable worst-case cycle bound exceeds this (0 = off)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ctlint [flags] file.mc...")

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ctomo [-workload gaussian] [-seed 1] [-tick 8] [-estimator em|moments|histogram] file.mc
+//	ctomo [-workload gaussian] [-seed 1] [-tick 8] [-estimator em|moments|histogram] [-static] file.mc
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	estName := flag.String("estimator", "em", "estimator: em, moments, or histogram")
 	fuse := flag.Bool("fuse", false, "enable compare-branch fusion in all builds")
 	rotate := flag.Bool("rotate", false, "enable loop rotation in all builds")
+	static := flag.Bool("static", false, "pin statically resolved branches and check fits against the static envelope")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ctomo [flags] file.mc")
@@ -35,7 +36,8 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick, FuseCompares: *fuse, RotateLoops: *rotate}
+	cfg := codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick,
+		FuseCompares: *fuse, RotateLoops: *rotate, StaticResolve: *static}
 	switch *estName {
 	case "em":
 		// Default; tuned to the tick inside the pipeline.

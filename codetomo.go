@@ -68,6 +68,12 @@ type Config struct {
 	// optimization passes in every build of the pipeline.
 	FuseCompares bool
 	RotateLoops  bool
+	// StaticResolve feeds the compiler's value-range analysis into the
+	// estimator: branches proven one-way are pinned instead of estimated
+	// (fewer free parameters, fewer spurious mixture components), and each
+	// fitted estimate is sanity-checked against the procedure's static
+	// feasible duration envelope. Off by default.
+	StaticResolve bool
 }
 
 // Validate rejects configurations Run cannot honor. Zero values are legal
@@ -186,6 +192,15 @@ type ProcEstimate struct {
 	// result (excessive trimming or non-convergence); the procedure's
 	// layout was left at the baseline instead of being optimized on it.
 	LowConfidence bool
+	// ResolvedBranches counts branch blocks the static value-range
+	// analysis proved one-way under Config.StaticResolve; they were pinned
+	// rather than estimated and are excluded from Branches and MAE.
+	ResolvedBranches int
+	// EnvelopeViolation reports that the fitted estimate implied an
+	// expected duration outside the procedure's static feasible envelope
+	// (Config.StaticResolve only); the estimate was discarded and the
+	// procedure's layout left at the baseline.
+	EnvelopeViolation bool
 }
 
 // Result is the outcome of one full pipeline run.
@@ -300,6 +315,16 @@ func (c Config) measureLayouts(source string, plan layout.Plan) (before, after R
 	return runStats(beforeM), runStats(afterM), a, nil
 }
 
+// resolvedBranchCount counts the branch blocks the model pinned from
+// static analysis (each contributes its full out-edge set to Pinned).
+func resolvedBranchCount(m *tomography.Model) int {
+	blocks := make(map[int]bool)
+	for e := range m.Pinned {
+		blocks[int(e[0])] = true
+	}
+	return len(blocks)
+}
+
 // branchEstimates assembles the per-edge report for one estimated
 // procedure: estimate vs oracle per branch edge, the identifiability
 // diagnostic, and the mean absolute error.
@@ -359,10 +384,12 @@ func Run(source string, cfg Config) (*Result, error) {
 		var est markov.EdgeProbs
 		var model *tomography.Model
 		if pe.SampleCount >= cfg.MinSamples {
-			m, err := tomography.NewModel(prof, p.Name, cfg.Predictor, enum)
+			m, err := tomography.NewModelOpts(prof, p.Name, cfg.Predictor, enum,
+				tomography.ModelOptions{StaticResolve: cfg.StaticResolve})
 			if err != nil {
 				return nil, fmt.Errorf("codetomo: model %s: %w", p.Name, err)
 			}
+			pe.ResolvedBranches = resolvedBranchCount(m)
 			samples := trace.DurationsCycles(byProc[pm.Index], cfg.TickDiv)
 			// Trust the path model only when it explains the data —
 			// loops that exceed the unrolling bound show up here.
@@ -371,7 +398,14 @@ func Run(source string, cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("codetomo: estimate %s: %w", p.Name, err)
 				}
-				model = m
+				// A fit whose expected duration is statically infeasible is
+				// noise; do not let it drive placement.
+				if !m.EnvelopeCheck(est, float64(cfg.TickDiv)) {
+					pe.EnvelopeViolation = true
+					est = nil
+				} else {
+					model = m
+				}
 			}
 		}
 		if model == nil {

@@ -262,3 +262,78 @@ func TestPipelineReportsAmbiguity(t *testing.T) {
 		t.Fatal("tick-1 ambiguity did not drop")
 	}
 }
+
+// TestPipelineStaticResolve checks the opt-in static-analysis path: a
+// branch the ADC rail proves one-way is pinned instead of estimated, and
+// the accepted fit sits inside the static envelope.
+func TestPipelineStaticResolve(t *testing.T) {
+	src := `
+func handler() int {
+	var v int;
+	var r int;
+	v = sense();
+	r = 0;
+	if (v < 2000) {
+		r = r + v / 3;
+	} else {
+		r = 99;
+	}
+	if (v < 500) {
+		r = r + v / 5 + v % 11 + 1;
+	}
+	return r;
+}
+
+func main() {
+	var i int;
+	var acc int;
+	acc = 0;
+	for (i = 0; i < 800; i = i + 1) {
+		acc = acc + handler();
+	}
+	debug(acc);
+}`
+	res, err := Run(src, Config{Seed: 9, StaticResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handler *ProcEstimate
+	for i := range res.Estimates {
+		if res.Estimates[i].Proc == "handler" {
+			handler = &res.Estimates[i]
+		}
+	}
+	if handler == nil {
+		t.Fatal("handler estimate missing")
+	}
+	if handler.Fallback {
+		t.Fatal("handler fell back to static heuristics")
+	}
+	if handler.ResolvedBranches != 1 {
+		t.Fatalf("resolved branches = %d, want 1", handler.ResolvedBranches)
+	}
+	if handler.EnvelopeViolation {
+		t.Fatal("healthy fit flagged as an envelope violation")
+	}
+	// The pinned branch is excluded from the estimated set: only the
+	// genuine branch's edges remain.
+	for _, be := range handler.Branches {
+		if be.Prob < 0 || be.Prob > 1 {
+			t.Fatalf("estimate out of range: %+v", be)
+		}
+	}
+	if handler.MAE > 0.1 {
+		t.Fatalf("handler MAE = %v, want < 0.1", handler.MAE)
+	}
+
+	// Same pipeline without the flag: nothing resolved, nothing flagged.
+	res2, err := Run(src, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range res2.Estimates {
+		if pe.ResolvedBranches != 0 || pe.EnvelopeViolation {
+			t.Fatalf("static fields set without StaticResolve: %+v", pe)
+		}
+	}
+}

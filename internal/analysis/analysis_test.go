@@ -255,9 +255,9 @@ func TestUninitTempUses(t *testing.T) {
 func TestMaxAcyclicCycles(t *testing.T) {
 	p := diamondProc()
 	costs := map[ir.BlockID]uint64{0: 10, 1: 7, 2: 3, 3: 5}
-	cycles, hasLoop := MaxAcyclicCycles(p, costs)
-	if hasLoop {
-		t.Error("diamond reported a loop")
+	cycles, heads := MaxAcyclicCycles(p, costs)
+	if len(heads) != 0 {
+		t.Errorf("diamond reported loop heads %v", heads)
 	}
 	if cycles != 22 { // 10 + max(7,3) + 5
 		t.Errorf("cycles = %d, want 22", cycles)
@@ -265,9 +265,9 @@ func TestMaxAcyclicCycles(t *testing.T) {
 
 	lp := loopedProc()
 	lcosts := map[ir.BlockID]uint64{0: 1, 1: 2, 2: 4, 3: 8}
-	cycles, hasLoop = MaxAcyclicCycles(lp, lcosts)
-	if !hasLoop {
-		t.Error("loop not detected")
+	cycles, heads = MaxAcyclicCycles(lp, lcosts)
+	if len(heads) != 1 || heads[0] != 1 {
+		t.Errorf("loop heads = %v, want [1]", heads)
 	}
 	if cycles != 11 { // 1 + 2 + 8, back edge cut; body path 1+2+4=7
 		t.Errorf("cycles = %d, want 11", cycles)

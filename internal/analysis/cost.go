@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"codetomo/internal/cfg"
 	"codetomo/internal/ir"
 )
@@ -25,17 +27,17 @@ func frameOccupancy(p *cfg.Proc) int { return 2 + FrameWords(p) }
 // traversal of the procedure — the longest entry-to-anywhere path with
 // every loop back edge cut — given per-block cycle costs (typically the
 // backend's exact static timing, compile.ProcMeta.BlockCycles). The
-// second result reports whether the CFG contains loops, in which case the
-// true worst case is unbounded and the acyclic figure is a per-"iteration
-// envelope" bound.
-func MaxAcyclicCycles(p *cfg.Proc, blockCycles map[ir.BlockID]uint64) (uint64, bool) {
+// second result lists the headers of the loops that were cut, in ascending
+// order; when non-empty the acyclic figure is only a per-"iteration
+// envelope" bound, not a total one (see ProcWCET for the composed bound).
+func MaxAcyclicCycles(p *cfg.Proc, blockCycles map[ir.BlockID]uint64) (uint64, []ir.BlockID) {
 	rpo := p.ReversePostorder()
 	pos := make(map[ir.BlockID]int, len(rpo))
 	for i, id := range rpo {
 		pos[id] = i
 	}
 	dist := make(map[ir.BlockID]uint64, len(rpo))
-	hasLoop := false
+	headSet := make(map[ir.BlockID]bool)
 	var max uint64
 	for _, id := range rpo {
 		d := dist[id] + blockCycles[id]
@@ -44,8 +46,9 @@ func MaxAcyclicCycles(p *cfg.Proc, blockCycles map[ir.BlockID]uint64) (uint64, b
 		}
 		for _, s := range p.Block(id).Succs() {
 			if pos[s] <= pos[id] {
-				// Retreating edge: a loop. Cut it for the bound.
-				hasLoop = true
+				// Retreating edge: a loop. Cut it for the bound and
+				// remember where it lands.
+				headSet[s] = true
 				continue
 			}
 			if d > dist[s] {
@@ -53,7 +56,12 @@ func MaxAcyclicCycles(p *cfg.Proc, blockCycles map[ir.BlockID]uint64) (uint64, b
 			}
 		}
 	}
-	return max, hasLoop
+	var heads []ir.BlockID
+	for h := range headSet {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	return max, heads
 }
 
 // StackBound is the worst-case stack usage of one procedure including its

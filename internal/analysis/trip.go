@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// This file infers provable trip-count bounds for natural loops: a loop
+// whose exit test compares a monotone counter against a range-bounded limit
+// gets a hard cap on how many times its back edges can be taken per entry.
+// The reasoning is deliberately conservative — a bound is only emitted when
+// every soundness condition is discharged:
+//
+//   - the exit test executes exactly once per iteration (its block belongs
+//     to this loop, not a nested one, and dominates every back-edge tail);
+//   - the counter has exactly one store in the whole loop body, of the form
+//     v = v ± c with constant c, likewise executing exactly once per
+//     iteration;
+//   - the observed counter values cannot wrap between iterations (the
+//     16-bit overflow guards below).
+//
+// Under those conditions consecutive test observations differ by exactly
+// ±c, so the number of iterations that can still satisfy the "stay"
+// predicate is a closed-form function of the counter's entry range and the
+// limit's value range.
+
+// TripBound caps a natural loop's back-edge traversals per loop entry.
+type TripBound struct {
+	Header ir.BlockID
+	// MaxBackEdges bounds how many times any of the loop's back edges can
+	// be traversed between entering the loop and leaving it. Meaningless
+	// unless Bounded.
+	MaxBackEdges uint64
+	// Bounded reports whether a provable bound was found.
+	Bounded bool
+	// HasExit reports whether the loop can terminate at all: some body
+	// block branches outside the loop or returns/halts. Event loops
+	// (while(1)) have no exit and are deliberately infinite — diagnostics
+	// should not flag them as "unbounded".
+	HasExit bool
+}
+
+// LoopTripBounds infers a TripBound for every natural loop of the
+// procedure, keyed by header. r must be the procedure's range analysis.
+func LoopTripBounds(p *cfg.Proc, r *Ranges) map[ir.BlockID]TripBound {
+	nest := p.BuildLoopNest()
+	if len(nest.Loops) == 0 {
+		return nil
+	}
+	idom := p.Dominators()
+	out := make(map[ir.BlockID]TripBound, len(nest.Loops))
+	for li, loop := range nest.Loops {
+		tb := TripBound{Header: loop.Header}
+		for _, b := range p.Blocks {
+			if !loop.Body[b.ID] {
+				continue
+			}
+			switch b.Term.(type) {
+			case ir.Ret, ir.Halt:
+				tb.HasExit = true
+			}
+			exits := 0
+			for _, s := range b.Succs() {
+				if !loop.Body[s] {
+					exits++
+				}
+			}
+			if exits > 0 {
+				tb.HasExit = true
+			}
+			if exits != 1 || len(b.Succs()) != 2 {
+				continue
+			}
+			if n, ok := boundViaTest(p, r, nest, li, idom, b); ok {
+				if !tb.Bounded || n < tb.MaxBackEdges {
+					tb.MaxBackEdges = n
+				}
+				tb.Bounded = true
+			}
+		}
+		out[loop.Header] = tb
+	}
+	return out
+}
+
+// boundViaTest tries to derive a back-edge bound from one candidate exit
+// test block.
+func boundViaTest(p *cfg.Proc, r *Ranges, nest *cfg.LoopNest, li int, idom map[ir.BlockID]ir.BlockID, test *cfg.Block) (uint64, bool) {
+	loop := nest.Loops[li]
+	// The test must run exactly once per iteration.
+	if nest.Innermost(test.ID) != li {
+		return 0, false
+	}
+	for _, e := range loop.BackEdges {
+		if !cfg.Dominates(idom, test.ID, e.From) {
+			return 0, false
+		}
+	}
+	br, ok := test.Term.(ir.Br)
+	if !ok {
+		return 0, false
+	}
+	stayOnTrue := loop.Body[br.True]
+
+	cmpIdx, cmp := r.findCompare(test, br.Cond)
+	if cmpIdx < 0 {
+		return 0, false
+	}
+
+	// One operand must be a monotone counter, the other the limit.
+	for _, side := range [2]struct {
+		v     ir.Temp
+		limit ir.Temp
+		op    ir.Op
+	}{
+		{cmp.A, cmp.B, cmp.Op},
+		{cmp.B, cmp.A, mirrorOp(cmp.Op)},
+	} {
+		vName := r.resolveVar(test, cmpIdx, side.v)
+		if vName == "" {
+			continue
+		}
+		stay := side.op
+		if !stayOnTrue {
+			stay = negateOp(stay)
+		}
+		limitIv := r.tempAt(test.ID, cmpIdx, side.limit)
+		if n, ok := boundCounter(p, r, nest, li, idom, test, vName, stay, limitIv); ok {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// negateOp returns the comparison that holds exactly when op does not.
+func negateOp(op ir.Op) ir.Op {
+	switch op {
+	case ir.OpLt:
+		return ir.OpGe
+	case ir.OpLe:
+		return ir.OpGt
+	case ir.OpGt:
+		return ir.OpLe
+	case ir.OpGe:
+		return ir.OpLt
+	case ir.OpEq:
+		return ir.OpNe
+	case ir.OpNe:
+		return ir.OpEq
+	}
+	return op
+}
+
+// boundCounter discharges the counter-shape conditions for variable vName
+// and, if they hold, computes the stay-observation bound.
+func boundCounter(p *cfg.Proc, r *Ranges, nest *cfg.LoopNest, li int, idom map[ir.BlockID]ir.BlockID, test *cfg.Block, vName string, stay ir.Op, limit Interval) (uint64, bool) {
+	loop := nest.Loops[li]
+
+	// Exactly one store to the counter in the whole loop body.
+	var update *cfg.Block
+	updateIdx := -1
+	for _, b := range p.Blocks {
+		if !loop.Body[b.ID] {
+			continue
+		}
+		for i, instr := range b.Instrs {
+			if sv, isStore := instr.(ir.StoreVar); isStore && sv.Name == vName {
+				if update != nil {
+					return 0, false
+				}
+				update, updateIdx = b, i
+			}
+		}
+	}
+	if update == nil {
+		return 0, false
+	}
+	// The update must run exactly once per iteration.
+	if nest.Innermost(update.ID) != li {
+		return 0, false
+	}
+	for _, e := range loop.BackEdges {
+		if !cfg.Dominates(idom, update.ID, e.From) {
+			return 0, false
+		}
+	}
+	step, ok := updateStep(update, updateIdx, vName)
+	if !ok || step == 0 {
+		return 0, false
+	}
+
+	// Counter range at loop entry: join over live non-back edges into the
+	// header.
+	entry := Interval{1, 0} // empty
+	entered := false
+	for _, pr := range p.Preds()[loop.Header] {
+		if loop.Body[pr] {
+			continue // back edge
+		}
+		if iv, live := r.EdgeVarInterval(pr, loop.Header, vName); live {
+			entry = join(entry, iv)
+			entered = true
+		}
+	}
+	if !entered {
+		return 0, true // loop never entered under the value analysis
+	}
+
+	// First observation: before the update if the test dominates it, after
+	// it otherwise; when the order is unknown (same block, or neither
+	// dominates), take the looser of the two.
+	sameBlock := update.ID == test.ID
+	testFirst := !sameBlock && cfg.Dominates(idom, test.ID, update.ID)
+	updateFirst := !sameBlock && cfg.Dominates(idom, update.ID, test.ID)
+	o1 := entry
+	if !testFirst {
+		shifted := shiftEntry(entry, step)
+		if updateFirst {
+			o1 = shifted
+		} else {
+			o1 = join(entry, shifted)
+		}
+	}
+	return stayCount(stay, o1, limit, step)
+}
+
+// shiftEntry advances the entry range by one update step, widening to the
+// domain limit when the shift could wrap.
+func shiftEntry(entry Interval, step int) Interval {
+	lo, hi := entry.Lo+step, entry.Hi+step
+	if hi > MaxWord || lo < MinWord {
+		return Top() // wrap possible: any value
+	}
+	return Interval{lo, hi}
+}
+
+// stayCount bounds how many test observations can satisfy the stay
+// predicate `v stay limit` when consecutive observations differ by exactly
+// step (no wrap, enforced by the guards).
+func stayCount(stay ir.Op, o1, limit Interval, step int) (uint64, bool) {
+	count := func(span int64, s int64) (uint64, bool) {
+		if span < 0 {
+			return 0, true
+		}
+		return uint64(span/s) + 1, true
+	}
+	switch {
+	case step > 0:
+		s := int64(step)
+		switch stay {
+		case ir.OpLt:
+			// Every stay observation is <= limit.Hi−1; the post-stay update
+			// must not wrap.
+			if int64(limit.Hi)-1+s > MaxWord {
+				return 0, false
+			}
+			return count(int64(limit.Hi)-1-int64(o1.Lo), s)
+		case ir.OpLe:
+			if int64(limit.Hi)+s > MaxWord {
+				return 0, false
+			}
+			return count(int64(limit.Hi)-int64(o1.Lo), s)
+		case ir.OpNe:
+			// Exits only by hitting the limit exactly: needs unit step, a
+			// fixed limit, and a first observation at or below it.
+			n, isConst := limit.Const()
+			if step != 1 || !isConst || o1.Hi > n {
+				return 0, false
+			}
+			return count(int64(n)-1-int64(o1.Lo), 1)
+		}
+	case step < 0:
+		s := int64(-step)
+		switch stay {
+		case ir.OpGt:
+			if int64(limit.Lo)+1-s < MinWord {
+				return 0, false
+			}
+			return count(int64(o1.Hi)-(int64(limit.Lo)+1), s)
+		case ir.OpGe:
+			if int64(limit.Lo)-s < MinWord {
+				return 0, false
+			}
+			return count(int64(o1.Hi)-int64(limit.Lo), s)
+		case ir.OpNe:
+			n, isConst := limit.Const()
+			if step != -1 || !isConst || o1.Lo < n {
+				return 0, false
+			}
+			return count(int64(o1.Hi)-int64(n)-1, 1)
+		}
+	}
+	return 0, false
+}
+
+// updateStep matches the single counter store against `v = v + c` /
+// `v = v - c` (either operand order for +) and returns the signed step.
+func updateStep(b *cfg.Block, storeIdx int, vName string) (int, bool) {
+	src := b.Instrs[storeIdx].(ir.StoreVar).Src
+	binIdx, instr := lastDef(b, storeIdx, src)
+	if binIdx < 0 {
+		return 0, false
+	}
+	bin, ok := instr.(ir.Bin)
+	if !ok {
+		return 0, false
+	}
+	loadsV := func(end int, t ir.Temp) bool {
+		i, d := lastDef(b, end, t)
+		if i < 0 {
+			return false
+		}
+		lv, isLoad := d.(ir.LoadVar)
+		return isLoad && lv.Name == vName
+	}
+	constOf := func(end int, t ir.Temp) (int, bool) {
+		i, d := lastDef(b, end, t)
+		if i < 0 {
+			return 0, false
+		}
+		c, isConst := d.(ir.Const)
+		if !isConst {
+			return 0, false
+		}
+		return int(int16(c.Val)), true
+	}
+	switch bin.Op {
+	case ir.OpAdd:
+		if loadsV(binIdx, bin.A) {
+			if c, ok := constOf(binIdx, bin.B); ok {
+				return c, true
+			}
+		}
+		if loadsV(binIdx, bin.B) {
+			if c, ok := constOf(binIdx, bin.A); ok {
+				return c, true
+			}
+		}
+	case ir.OpSub:
+		if loadsV(binIdx, bin.A) {
+			if c, ok := constOf(binIdx, bin.B); ok && c != MinWord {
+				return -c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lastDef returns the index and instruction of the last definition of t
+// before index end in block b, following Mov chains; -1 when t is not
+// defined in the prefix.
+func lastDef(b *cfg.Block, end int, t ir.Temp) (int, ir.Instr) {
+	cur := t
+	for i := end - 1; i >= 0; i-- {
+		d, ok := ir.InstrDef(b.Instrs[i])
+		if !ok || d != cur {
+			continue
+		}
+		if mv, isMov := b.Instrs[i].(ir.Mov); isMov {
+			cur = mv.Src
+			continue
+		}
+		return i, b.Instrs[i]
+	}
+	return -1, nil
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"codetomo/internal/cfg"
+	"codetomo/internal/ir"
+)
+
+// This file composes the structural analyses into provable whole-procedure
+// worst-case cycle bounds. Each natural loop is contracted innermost-first
+// into a super-node whose cost is
+//
+//	C(L) = B(L) · iterCost(L) + A(L)
+//
+// where B is the loop's trip bound (back-edge traversals), iterCost the
+// costliest header-to-back-edge path including the back edge's cost, and A
+// the costliest acyclic path from the header to anywhere in the loop (the
+// final, partial pass). Every concrete execution decomposes into B' <= B
+// full passes plus one partial pass, each bounded by the corresponding
+// term, so C(L) dominates the loop's total cost. The contracted graph is a
+// DAG, on which the worst case is a longest-path computation.
+
+// WCET is the provable worst-case execution bound of one procedure.
+type WCET struct {
+	// Cycles is the provable bound when Bounded; otherwise the acyclic
+	// envelope (every loop back edge cut), which is NOT a total bound.
+	Cycles uint64
+	// Bounded reports whether every loop carries a provable trip bound.
+	Bounded bool
+	// UnboundedLoops names the headers of loops that defeat the bound, in
+	// ascending order.
+	UnboundedLoops []ir.BlockID
+}
+
+// ProcWCET computes the worst-case cycle bound of a procedure given
+// per-block cycle costs, per-edge extra costs (both upper bounds on the
+// realized costs, e.g. compile metadata with worst-case branch penalties),
+// and the loops' trip bounds (LoopTripBounds). The result does not include
+// any once-per-invocation entry overhead; callers add it.
+func ProcWCET(p *cfg.Proc, blockCycles map[ir.BlockID]uint64, edgeExtra map[[2]ir.BlockID]uint64, trips map[ir.BlockID]TripBound) WCET {
+	nest := p.BuildLoopNest()
+
+	var unbounded []ir.BlockID
+	for _, l := range nest.Loops {
+		if tb, ok := trips[l.Header]; !ok || !tb.Bounded {
+			unbounded = append(unbounded, l.Header)
+		}
+	}
+	if len(unbounded) > 0 {
+		sort.Slice(unbounded, func(i, j int) bool { return unbounded[i] < unbounded[j] })
+		envelope, _ := MaxAcyclicCycles(p, blockCycles)
+		return WCET{Cycles: envelope, UnboundedLoops: unbounded}
+	}
+
+	loopTotal := make([]uint64, len(nest.Loops))
+	for _, li := range nest.InnermostFirst() {
+		total, ok := contractLoop(p, nest, li, blockCycles, edgeExtra, loopTotal, trips)
+		if !ok {
+			// Irreducible flow inside the region; no safe composition.
+			envelope, _ := MaxAcyclicCycles(p, blockCycles)
+			return WCET{Cycles: envelope, UnboundedLoops: []ir.BlockID{nest.Loops[li].Header}}
+		}
+		loopTotal[li] = total
+	}
+
+	// Top-level region: blocks outside every loop plus the outermost loops
+	// as super-nodes.
+	rep := func(b ir.BlockID) ir.BlockID {
+		c := nest.Innermost(b)
+		for c != -1 && nest.Parent[c] != -1 {
+			c = nest.Parent[c]
+		}
+		if c == -1 {
+			return b
+		}
+		return nest.Loops[c].Header
+	}
+	cost := func(n ir.BlockID) uint64 {
+		if c := nest.Innermost(n); c != -1 {
+			// n is a top-level loop header standing for the whole loop.
+			for nest.Parent[c] != -1 {
+				c = nest.Parent[c]
+			}
+			return loopTotal[c]
+		}
+		return blockCycles[n]
+	}
+	reach := p.Reachable()
+	g := newRegion()
+	for _, b := range p.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		u := rep(b.ID)
+		g.addNode(u, cost(u))
+		for _, s := range b.Succs() {
+			if v := rep(s); v != u {
+				g.addEdge(u, v, edgeExtra[[2]ir.BlockID{b.ID, s}])
+			}
+		}
+	}
+	dist, ok := g.longestFrom(rep(p.Entry))
+	if !ok {
+		envelope, heads := MaxAcyclicCycles(p, blockCycles)
+		return WCET{Cycles: envelope, UnboundedLoops: heads}
+	}
+	var max uint64
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return WCET{Cycles: max, Bounded: true}
+}
+
+// contractLoop computes C(L) for one loop whose child loops are already
+// contracted.
+func contractLoop(p *cfg.Proc, nest *cfg.LoopNest, li int, blockCycles map[ir.BlockID]uint64, edgeExtra map[[2]ir.BlockID]uint64, loopTotal []uint64, trips map[ir.BlockID]TripBound) (uint64, bool) {
+	loop := nest.Loops[li]
+	rep := func(b ir.BlockID) ir.BlockID {
+		if c := nest.ChildIn(li, b); c != -1 {
+			return nest.Loops[c].Header
+		}
+		return b
+	}
+	cost := func(n ir.BlockID) uint64 {
+		if c := nest.ChildIn(li, n); c != -1 && nest.Loops[c].Header == n {
+			return loopTotal[c]
+		}
+		return blockCycles[n]
+	}
+
+	g := newRegion()
+	type backArc struct {
+		from  ir.BlockID
+		extra uint64
+	}
+	var backs []backArc
+	for b := range loop.Body {
+		blk := p.Block(b)
+		u := rep(b)
+		g.addNode(u, cost(u))
+		for _, s := range blk.Succs() {
+			if !loop.Body[s] {
+				continue // exit edge: charged in the parent region
+			}
+			extra := edgeExtra[[2]ir.BlockID{b, s}]
+			if s == loop.Header {
+				backs = append(backs, backArc{from: u, extra: extra})
+				continue
+			}
+			if v := rep(s); v != u {
+				g.addEdge(u, v, extra)
+			}
+		}
+	}
+	dist, ok := g.longestFrom(loop.Header)
+	if !ok {
+		return 0, false
+	}
+	var acyclic uint64
+	for _, d := range dist {
+		if d > acyclic {
+			acyclic = d
+		}
+	}
+	var iter uint64
+	for _, ba := range backs {
+		d, reached := dist[ba.from]
+		if !reached {
+			return 0, false // back-edge tail unreachable from the header
+		}
+		if c := satAdd(d, ba.extra); c > iter {
+			iter = c
+		}
+	}
+	b := trips[loop.Header].MaxBackEdges
+	return satAdd(satMul(b, iter), acyclic), true
+}
+
+// region is a small DAG with node costs and edge costs for longest-path
+// computation.
+type region struct {
+	cost map[ir.BlockID]uint64
+	succ map[ir.BlockID][]regionEdge
+	pred map[ir.BlockID]int // in-degree
+}
+
+type regionEdge struct {
+	to    ir.BlockID
+	extra uint64
+}
+
+func newRegion() *region {
+	return &region{
+		cost: make(map[ir.BlockID]uint64),
+		succ: make(map[ir.BlockID][]regionEdge),
+		pred: make(map[ir.BlockID]int),
+	}
+}
+
+// addNode registers n with its cost, overwriting a provisional zero left
+// by an earlier addEdge — every region node receives exactly one addNode
+// call with its real cost.
+func (g *region) addNode(n ir.BlockID, c uint64) {
+	if _, ok := g.pred[n]; !ok {
+		g.pred[n] = 0
+	}
+	g.cost[n] = c
+}
+
+func (g *region) addEdge(u, v ir.BlockID, extra uint64) {
+	if _, ok := g.pred[v]; !ok {
+		g.pred[v] = 0
+		g.cost[v] = 0 // provisional; v's own addNode sets the real cost
+	}
+	g.succ[u] = append(g.succ[u], regionEdge{to: v, extra: extra})
+	g.pred[v]++
+}
+
+// longestFrom computes the longest entry-to-node distance (node costs plus
+// edge extras, entry cost included) via Kahn topological order. The second
+// result is false when the subgraph contains a cycle.
+func (g *region) longestFrom(entry ir.BlockID) (map[ir.BlockID]uint64, bool) {
+	indeg := make(map[ir.BlockID]int, len(g.pred))
+	for n, d := range g.pred {
+		indeg[n] = d
+	}
+	var order []ir.BlockID
+	var queue []ir.BlockID
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, n)
+		for _, e := range g.succ[n] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if len(order) != len(g.cost) {
+		return nil, false // cycle
+	}
+	dist := make(map[ir.BlockID]uint64, len(order))
+	dist[entry] = g.cost[entry]
+	for _, n := range order {
+		d, reached := dist[n]
+		if !reached {
+			continue
+		}
+		for _, e := range g.succ[n] {
+			cand := satAdd(satAdd(d, e.extra), g.cost[e.to])
+			if cur, ok := dist[e.to]; !ok || cand > cur {
+				dist[e.to] = cand
+			}
+		}
+	}
+	return dist, true
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a != 0 && b > math.MaxUint64/a {
+		return math.MaxUint64
+	}
+	return a * b
+}

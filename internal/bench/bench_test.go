@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -308,6 +308,45 @@ func TestInterpreterBench(t *testing.T) {
 		}
 		if !strings.HasSuffix(row[6], "x") {
 			t.Fatalf("S1 speedup cell %q not a ratio", row[6])
+		}
+	}
+}
+
+// TestStaticAnalysisBench checks the sa1 acceptance shape: pinning shrinks
+// the estimator's free-parameter set on the rail cases at equal-or-better
+// accuracy, and dead-branch elimination saves cycles and code bytes
+// exactly where branches were provable.
+func TestStaticAnalysisBench(t *testing.T) {
+	tab, err := StaticAnalysisBench(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("SA1 rows = %d, want 3\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		pinned := floatCell(t, row[2])
+		edgesOff, edgesOn := floatCell(t, row[3]), floatCell(t, row[4])
+		itersOff, itersOn := floatCell(t, row[5]), floatCell(t, row[6])
+		maeOff, maeOn := floatCell(t, row[9]), floatCell(t, row[10])
+		cycSaved, codeSaved := floatCell(t, row[11]), floatCell(t, row[12])
+		if edgesOn != edgesOff-2*pinned {
+			t.Errorf("%s: pinning %v branches left %v of %v edges free",
+				row[0], pinned, edgesOn, edgesOff)
+		}
+		if itersOn > itersOff {
+			t.Errorf("%s: pinning increased EM iterations %v -> %v", row[0], itersOff, itersOn)
+		}
+		if maeOn > maeOff+0.01 {
+			t.Errorf("%s: pinning worsened MAE %v -> %v", row[0], maeOff, maeOn)
+		}
+		if pinned > 0 && (cycSaved <= 0 || codeSaved <= 0) {
+			t.Errorf("%s: dead-branch elim saved nothing (cyc %v, code %v)",
+				row[0], cycSaved, codeSaved)
+		}
+		if pinned == 0 && (cycSaved != 0 || codeSaved != 0) {
+			t.Errorf("%s: control case changed under DBE (cyc %v, code %v)",
+				row[0], cycSaved, codeSaved)
 		}
 	}
 }

@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"ft2", "Fault 2: ARQ recovery cost vs corruption rate", ARQOverheadSweep},
 		{"k1", "Kernel 1: estimation kernel microbenchmarks", KernelBench},
 		{"s1", "Speed 1: interpreter core throughput (fused vs reference)", InterpreterBench},
+		{"sa1", "Static 1: value-range pinning and dead-branch elimination", StaticAnalysisBench},
 	}
 }
 

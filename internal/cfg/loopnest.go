@@ -1,0 +1,104 @@
+package cfg
+
+import (
+	"sort"
+
+	"codetomo/internal/ir"
+)
+
+// LoopNest organizes a procedure's natural loops into a nesting forest.
+// Natural loops of a reducible CFG are either disjoint or properly nested,
+// so body containment induces a forest; loops sharing a header were already
+// merged by NaturalLoops.
+type LoopNest struct {
+	// Loops are the natural loops, sorted by header (NaturalLoops order).
+	Loops []Loop
+	// Parent[i] is the index of the smallest loop properly containing
+	// Loops[i], or -1 for outermost loops.
+	Parent []int
+	// Depth[i] is the nesting depth (1 = outermost).
+	Depth []int
+
+	inner map[ir.BlockID]int // innermost loop per block, absent = none
+}
+
+// BuildLoopNest computes the loop-nesting forest of a procedure.
+func (p *Proc) BuildLoopNest() *LoopNest {
+	n := &LoopNest{
+		Loops: p.NaturalLoops(),
+		inner: make(map[ir.BlockID]int),
+	}
+	n.Parent = make([]int, len(n.Loops))
+	n.Depth = make([]int, len(n.Loops))
+	for i := range n.Loops {
+		n.Parent[i] = -1
+		for j := range n.Loops {
+			if i == j || !n.Loops[j].Body[n.Loops[i].Header] {
+				continue
+			}
+			// j contains i (headers are distinct, so containment of the
+			// header implies containment of the body); keep the smallest
+			// such loop as the direct parent.
+			if n.Parent[i] == -1 || len(n.Loops[j].Body) < len(n.Loops[n.Parent[i]].Body) {
+				n.Parent[i] = j
+			}
+		}
+	}
+	for i := range n.Loops {
+		d := 1
+		for a := n.Parent[i]; a != -1; a = n.Parent[a] {
+			d++
+		}
+		n.Depth[i] = d
+	}
+	for i, l := range n.Loops {
+		for b := range l.Body {
+			cur, ok := n.inner[b]
+			if !ok || len(l.Body) < len(n.Loops[cur].Body) {
+				n.inner[b] = i
+			}
+		}
+	}
+	return n
+}
+
+// Innermost returns the index (into Loops) of the smallest loop containing
+// block b, or -1 when b is outside every loop.
+func (n *LoopNest) Innermost(b ir.BlockID) int {
+	if i, ok := n.inner[b]; ok {
+		return i
+	}
+	return -1
+}
+
+// InnermostFirst returns the loop indices ordered deepest-first — the
+// order in which bound composition must contract loops.
+func (n *LoopNest) InnermostFirst() []int {
+	order := make([]int, len(n.Loops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := n.Depth[order[a]], n.Depth[order[b]]
+		if da != db {
+			return da > db
+		}
+		return n.Loops[order[a]].Header < n.Loops[order[b]].Header
+	})
+	return order
+}
+
+// ChildIn maps a body block of loop li to the node representing it when
+// loop li is viewed with its child loops contracted: the index of the
+// direct child loop containing b (returned as a loop index), or -1 when b
+// belongs to li itself. b must be in Loops[li].Body.
+func (n *LoopNest) ChildIn(li int, b ir.BlockID) int {
+	c := n.Innermost(b)
+	for c != -1 && c != li {
+		if n.Parent[c] == li {
+			return c
+		}
+		c = n.Parent[c]
+	}
+	return -1
+}

@@ -36,6 +36,11 @@ type Options struct {
 	// code generation (see RotateLoops), turning loop latches into
 	// backward conditional branches that BTFN-style prediction wins on.
 	RotateLoops bool
+	// DeadBranchElim folds conditional branches whose direction the range
+	// analysis proves (see EliminateDeadBranches) and prunes the arms that
+	// can never execute. Runs before loop rotation so rotation sees the
+	// simplified CFG.
+	DeadBranchElim bool
 	// VerifyIR runs the strict IR verifier (analysis.Verify) on the CFG
 	// after lowering and again after every CFG-mutating pass, so a pass
 	// that breaks an invariant fails at the pass that broke it. The test

@@ -211,6 +211,8 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		{RotateLoops: true, VerifyIR: true},
 		{FuseCompares: true, RotateLoops: true, VerifyIR: true},
 		{Instrument: ModeTimestamps, FuseCompares: true, VerifyIR: true},
+		{DeadBranchElim: true, VerifyIR: true},
+		{DeadBranchElim: true, FuseCompares: true, RotateLoops: true, VerifyIR: true},
 		{Instrument: ModeEdgeCounters, VerifyIR: true},
 	}
 	seeds := int64(60)

@@ -20,6 +20,9 @@ type Pass struct {
 // and jump threading) runs before the pipeline; code generation after it.
 func pipeline(opts Options) []Pass {
 	var passes []Pass
+	if opts.DeadBranchElim {
+		passes = append(passes, Pass{Name: "dead-branch-elim", Run: EliminateDeadBranches})
+	}
 	if opts.RotateLoops {
 		passes = append(passes, Pass{Name: "rotate-loops", Run: RotateLoops})
 	}

@@ -12,3 +12,25 @@ const (
 	// CostModel.Bytes).
 	DefaultFlashBytes = 32 * 1024
 )
+
+// ADC characteristics of the M16 part. The converter saturates at its
+// rails, so a SENSE destination register is architecturally guaranteed to
+// hold a value in [0, ADCMaxReading] — the simulator cores, the workload
+// generators, and the static value-range analysis all rely on the same
+// constant.
+const (
+	// ADCBits is the converter resolution.
+	ADCBits = 10
+	// ADCMaxReading is the highest value SENSE can produce (the positive
+	// rail of the 10-bit converter).
+	ADCMaxReading = 1<<ADCBits - 1
+)
+
+// ClampADC saturates a raw sample at the converter rails, exactly as the
+// SENSE instruction does.
+func ClampADC(v uint16) uint16 {
+	if v > ADCMaxReading {
+		return ADCMaxReading
+	}
+	return v
+}

@@ -62,6 +62,7 @@ func TestGoldenCoverage(t *testing.T) {
 		"unused-var": false, "unused-param": false, "unreachable": false,
 		"constant-cond": false, "dead-store": false, "maybe-uninit": false,
 		"cost-stack": false, "cost-recursion": false,
+		"dead-branch": false, "unreachable-block": false, "loop-unbounded": false,
 	}
 	files, _ := filepath.Glob(filepath.Join(examplesDir, "*.mc"))
 	for _, path := range files {
@@ -148,6 +149,34 @@ func TestCostReport(t *testing.T) {
 		if d.Code != "cost-info" || !strings.Contains(d.Msg, "stack <=") {
 			t.Fatalf("unexpected report entry: %v", d)
 		}
+	}
+}
+
+// TestEventLoopNotFlagged checks that a deliberate while(1) event loop —
+// which has no exit at all — is not reported as loop-unbounded, while a
+// data-dependent exit in the same program is.
+func TestEventLoopNotFlagged(t *testing.T) {
+	src := `
+func main() {
+	var n int = 0;
+	while (sense() > 50) {
+		n = n + 1;
+	}
+	while (1) {
+		led(n & 1);
+	}
+}`
+	var hits int
+	for _, d := range Run("t.mc", src, Options{}) {
+		if d.Code == "loop-unbounded" {
+			hits++
+			if d.Line != 4 {
+				t.Errorf("loop-unbounded at line %d, want 4 (the data-dependent loop)", d.Line)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("loop-unbounded fired %d times, want 1", hits)
 	}
 }
 

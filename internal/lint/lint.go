@@ -10,9 +10,11 @@
 //  3. AST lints (unreachable statements, constant branch conditions) —
 //     these must run before lowering, which folds constant conditions
 //     and deletes unreachable blocks,
-//  4. CFG dataflow lints on the freshly lowered IR (dead stores,
-//     maybe-uninitialized reads) and static cost bounds on the fully
-//     compiled program (stack depth, recursion, flash size, cycles).
+//  4. CFG lints on the freshly lowered IR — dataflow (dead stores,
+//     maybe-uninitialized reads) and value-range (dead-branch,
+//     unreachable-block, loop-unbounded) — and static cost bounds on the
+//     fully compiled program (stack depth, recursion, flash size, and
+//     provable WCET cycles where the loop trip bounds allow one).
 package lint
 
 import (
@@ -21,7 +23,9 @@ import (
 	"sort"
 
 	"codetomo/internal/analysis"
+	"codetomo/internal/cfg"
 	"codetomo/internal/compile"
+	"codetomo/internal/ir"
 	"codetomo/internal/isa"
 	"codetomo/internal/minic"
 )
@@ -56,9 +60,11 @@ type Options struct {
 	MaxStackWords int
 	// MaxFlashBytes caps the encoded code size; 0 means isa.DefaultFlashBytes.
 	MaxFlashBytes int
-	// MaxCycles, when nonzero, warns on procedures whose worst-case
-	// acyclic path exceeds it (loop-free procedures only; loops make the
-	// static bound a per-iteration figure, not a total).
+	// MaxCycles, when nonzero, warns on procedures whose provable
+	// worst-case execution exceeds it. Applies to loop-free procedures and
+	// to procedures whose every loop carries a provable trip bound; loops
+	// that defeat the bound proof are reported separately
+	// (loop-unbounded), since their static figure is only per-traversal.
 	MaxCycles uint64
 	// CostReport additionally emits an informational cost summary per
 	// procedure (ctlint -costs).
@@ -267,9 +273,10 @@ func stmtPos(s minic.Stmt) minic.Pos {
 // ---- CFG dataflow lints --------------------------------------------------
 
 // lintCFG lowers the checked file and runs the dataflow lints that need a
-// fresh CFG: dead stores and maybe-uninitialized reads. It must see the
-// un-optimized lowering, whose SrcPos side tables still point at the
-// statements the programmer wrote.
+// fresh CFG: dead stores, maybe-uninitialized reads, and the value-range
+// lints (statically dead branches, value-unreachable blocks, loops without
+// a provable trip bound). It must see the un-optimized lowering, whose
+// SrcPos side tables still point at the statements the programmer wrote.
 func (l *linter) lintCFG(f *minic.File) {
 	prog, err := compile.Lower(f)
 	if err != nil {
@@ -285,7 +292,78 @@ func (l *linter) lintCFG(f *minic.File) {
 			l.add(minic.Pos(u.Pos), SevWarning, "maybe-uninit",
 				fmt.Sprintf("%q may be read before it is assigned", u.Name))
 		}
+		l.lintRanges(f, p)
 	}
+}
+
+// lintRanges runs the interval analysis over one procedure and reports
+// branches it proves one-way, blocks it proves can never run, and loops
+// that exit but carry no provable iteration bound.
+func (l *linter) lintRanges(f *minic.File, p *cfg.Proc) {
+	r := analysis.InferRanges(p)
+
+	resolved := r.ResolvedBranches()
+	branches := make([]ir.BlockID, 0, len(resolved))
+	for b := range resolved {
+		branches = append(branches, b)
+	}
+	sort.Slice(branches, func(i, j int) bool { return branches[i] < branches[j] })
+	for _, b := range branches {
+		// The condition is computed at the end of the branch block; its
+		// last recorded position is the if/while the programmer wrote.
+		blk := p.Block(b)
+		pos := blockPos(f, p, blk)
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			if ip := blk.InstrPos(i); ip.Line != 0 {
+				pos = minic.Pos(ip)
+				break
+			}
+		}
+		l.add(pos, SevWarning, "dead-branch",
+			fmt.Sprintf("condition in %q always takes the same arm: the value analysis proves the other side dead", p.Name))
+	}
+
+	for _, b := range r.DeadBlocks() {
+		l.add(blockPos(f, p, p.Block(b)), SevWarning, "unreachable-block",
+			fmt.Sprintf("code in %q can never execute: no feasible values reach it", p.Name))
+	}
+
+	trips := analysis.LoopTripBounds(p, r)
+	headers := make([]ir.BlockID, 0, len(trips))
+	for h := range trips {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i] < headers[j] })
+	for _, h := range headers {
+		tb := trips[h]
+		// Deliberate event loops (while(1)) have no exit at all; only loops
+		// that CAN terminate but defeat the bound proof are worth flagging.
+		if tb.HasExit && !tb.Bounded {
+			l.add(blockPos(f, p, p.Block(h)), SevInfo, "loop-unbounded",
+				fmt.Sprintf("loop in %q has no provable iteration bound; worst-case cycle cost is open-ended", p.Name))
+		}
+	}
+}
+
+// blockPos finds a source position for a block-level finding: the first
+// recorded instruction position in the block, else in its successors (a
+// loop header may be a bare scaffolding block), else the enclosing
+// function's position.
+func blockPos(f *minic.File, p *cfg.Proc, b *cfg.Block) minic.Pos {
+	for i := range b.Instrs {
+		if pos := b.InstrPos(i); pos.Line != 0 {
+			return minic.Pos(pos)
+		}
+	}
+	for _, s := range b.Succs() {
+		sb := p.Block(s)
+		for i := range sb.Instrs {
+			if pos := sb.InstrPos(i); pos.Line != 0 {
+				return minic.Pos(pos)
+			}
+		}
+	}
+	return funcPos(f, p.Name)
 }
 
 // ---- Static cost bounds --------------------------------------------------
@@ -332,22 +410,49 @@ func (l *linter) lintCosts(f *minic.File, src string, opts Options) {
 				fmt.Sprintf("%q needs up to %d stack words but only %d fit after globals", p.Name, b.Words, budget))
 		}
 
-		pm := out.Meta.ProcByName[p.Name]
-		cycles, hasLoop := analysis.MaxAcyclicCycles(p, pm.BlockCycles)
-		if opts.MaxCycles > 0 && !hasLoop && cycles > opts.MaxCycles {
+		sb, err := out.ProcStaticBound(p.Name)
+		if err != nil {
+			l.addErr(err, "build-error")
+			continue
+		}
+		if opts.MaxCycles > 0 && sb.Bounded && sb.Cycles > opts.MaxCycles {
 			l.add(pos, SevWarning, "cost-cycles",
-				fmt.Sprintf("%q worst-case path is %d cycles, over the %d-cycle budget", p.Name, cycles, opts.MaxCycles))
+				fmt.Sprintf("%q worst-case execution is %d cycles, over the %d-cycle budget", p.Name, sb.Cycles, opts.MaxCycles))
 		}
 		if opts.CostReport {
 			loopNote := ""
-			if hasLoop {
-				loopNote = " per loop-free traversal (procedure has loops)"
+			if !sb.Bounded {
+				loopNote = fmt.Sprintf(" per loop-free traversal (no provable bound for %s)",
+					loopList(p, sb.UnboundedLoops))
 			}
 			l.add(pos, SevInfo, "cost-info",
 				fmt.Sprintf("%q: <= %d cycles%s, stack %s, frame %d words",
-					p.Name, cycles, loopNote, stackNote(b), analysis.FrameWords(p)))
+					p.Name, sb.Cycles, loopNote, stackNote(b), analysis.FrameWords(p)))
 		}
 	}
+}
+
+// loopList names loop-header blocks for a cost diagnostic, preferring the
+// block label over the bare ID.
+func loopList(p *cfg.Proc, heads []ir.BlockID) string {
+	if len(heads) == 0 {
+		return "its loops"
+	}
+	s := "loop at block "
+	if len(heads) > 1 {
+		s = "loops at blocks "
+	}
+	for i, h := range heads {
+		if i > 0 {
+			s += ", "
+		}
+		if lbl := p.Block(h).Label; lbl != "" {
+			s += lbl
+		} else {
+			s += fmt.Sprintf("b%d", h)
+		}
+	}
+	return s
 }
 
 func stackNote(b analysis.StackBound) string {

@@ -3,6 +3,8 @@ package minic
 import (
 	"errors"
 	"fmt"
+
+	"codetomo/internal/isa"
 )
 
 // This file implements a reference interpreter that executes MiniC directly
@@ -363,7 +365,8 @@ func (in *interp) expr(e Expr, fr *frameEnv) (uint16, error) {
 func (in *interp) builtin(name string, args []uint16) uint16 {
 	switch name {
 	case "sense":
-		return in.env.Sense()
+		// The ADC saturates at its rails (mirrors the mote's SENSE).
+		return isa.ClampADC(in.env.Sense())
 	case "rand":
 		return in.env.Rand()
 	case "now":

@@ -222,6 +222,11 @@ func New(prog []isa.Instr, cfg Config) *Machine {
 // Stats returns the architectural counters accumulated so far.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// SP returns the current stack pointer (words; the stack grows down from
+// Config.RAMWords). Tests compare the observed low-water mark against the
+// static stack-depth bound.
+func (m *Machine) SP() int32 { return m.sp }
+
 // Trace returns the trace buffer (TRACE instruction log).
 func (m *Machine) Trace() []TraceEvent { return m.trace }
 
@@ -455,7 +460,10 @@ func (m *Machine) Step() error {
 		case isa.PortTimer:
 			m.regs[in.Rd] = uint16(m.Tick())
 		case isa.PortADC:
-			m.regs[in.Rd] = m.cfg.Sensor.Next()
+			// The ADC saturates at its rails: readings are architecturally
+			// confined to [0, isa.ADCMaxReading], which the static
+			// value-range analysis relies on.
+			m.regs[in.Rd] = isa.ClampADC(m.cfg.Sensor.Next())
 			m.stats.SensorReads++
 		case isa.PortRNG:
 			m.regs[in.Rd] = m.cfg.Entropy.Next()

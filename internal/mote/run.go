@@ -258,7 +258,8 @@ func (m *Machine) runSegment(stop uint64) error {
 			case isa.PortTimer:
 				m.regs[in.Rd] = uint16(cycles/uint64(m.cfg.TickDiv) + m.cfg.ClockOffsetTicks)
 			case isa.PortADC:
-				m.regs[in.Rd] = m.cfg.Sensor.Next()
+				// Saturate at the converter rails, exactly as Step does.
+				m.regs[in.Rd] = isa.ClampADC(m.cfg.Sensor.Next())
 				m.stats.SensorReads++
 			case isa.PortRNG:
 				m.regs[in.Rd] = m.cfg.Entropy.Next()

@@ -46,7 +46,7 @@ func BootstrapSpread(m *Model, samples []float64, est Estimator, b int, seed int
 	// Weight each edge's spread by its expected traversal count under the
 	// mean estimate: instability on hot edges is what corrupts layouts;
 	// noise on a once-per-run error path is harmless.
-	mean := markov.Uniform(m.Proc)
+	mean := m.InitialProbs()
 	for i, e := range edges {
 		mean[e] = sums[i].Mean()
 	}

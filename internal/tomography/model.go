@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"codetomo/internal/analysis"
 	"codetomo/internal/cfg"
 	"codetomo/internal/compile"
 	"codetomo/internal/ir"
@@ -37,6 +38,17 @@ type Unknown struct {
 	Edges [][2]ir.BlockID
 }
 
+// ModelOptions configures optional model features.
+type ModelOptions struct {
+	// StaticResolve runs the compiler's value-range analysis over the
+	// procedure and pins every branch it proves one-way: the resolved
+	// blocks are removed from the unknowns (the estimator has fewer free
+	// parameters and the duration mixture fewer spurious components) and
+	// their edge probabilities fixed at 1/0 in every starting point. It
+	// also computes the static feasible envelope for EnvelopeCheck.
+	StaticResolve bool
+}
+
 // Model binds a procedure's CFG to its compiled timing metadata: the path
 // set, each path's deterministic duration, and the set of unknowns.
 type Model struct {
@@ -51,6 +63,16 @@ type Model struct {
 
 	Unknowns []Unknown
 
+	// Pinned holds edge probabilities fixed by the static value-range
+	// analysis (1 for the proven arm, 0 for the dead one). The source
+	// blocks do not appear in Unknowns; estimators must not touch these.
+	Pinned markov.EdgeProbs
+
+	// Envelope, when non-nil and Bounded, is the static feasible range of
+	// one measured interval (compile.ProcStaticEnvelope); EnvelopeCheck
+	// tests a fitted estimate against it.
+	Envelope *compile.StaticEnvelope
+
 	// Dense kernel inputs (markov.CompiledPaths + sorted path times),
 	// built lazily on first estimation and shared by concurrent streams.
 	compileOnce sync.Once
@@ -61,6 +83,11 @@ type Model struct {
 // program. pred must be the branch predictor of the mote the measurements
 // came from (it determines per-edge penalty cycles).
 func NewModel(out *compile.Output, procName string, pred compile.Predictor, enum markov.EnumerateOptions) (*Model, error) {
+	return NewModelOpts(out, procName, pred, enum, ModelOptions{})
+}
+
+// NewModelOpts is NewModel with optional features enabled.
+func NewModelOpts(out *compile.Output, procName string, pred compile.Predictor, enum markov.EnumerateOptions, mo ModelOptions) (*Model, error) {
 	pm, ok := out.Meta.ProcByName[procName]
 	if !ok {
 		return nil, fmt.Errorf("tomography: unknown procedure %q", procName)
@@ -82,7 +109,29 @@ func NewModel(out *compile.Output, procName string, pred compile.Predictor, enum
 	for i, p := range m.Paths {
 		m.PathTimes[i] = markov.PathTime(p, costs)
 	}
+
+	var resolved map[ir.BlockID]ir.BlockID
+	if mo.StaticResolve {
+		resolved = analysis.InferRanges(proc).ResolvedBranches()
+		if len(resolved) > 0 {
+			m.Pinned = make(markov.EdgeProbs, 2*len(resolved))
+		}
+		if env, err := out.ProcStaticEnvelope(procName); err == nil {
+			m.Envelope = &env
+		}
+	}
 	for _, bb := range proc.BranchBlocks() {
+		if live, ok := resolved[bb]; ok {
+			// Statically proven one-way: pin instead of estimating.
+			for _, s := range proc.Block(bb).Succs() {
+				p := 0.0
+				if s == live {
+					p = 1.0
+				}
+				m.Pinned[[2]ir.BlockID{bb, s}] = p
+			}
+			continue
+		}
 		u := Unknown{Block: bb}
 		for _, s := range proc.Block(bb).Succs() {
 			u.Edges = append(u.Edges, [2]ir.BlockID{bb, s})
@@ -113,15 +162,46 @@ func BuildCosts(meta *compile.Meta, pm *compile.ProcMeta, proc *cfg.Proc, pred c
 	return costs, nil
 }
 
-// InitialProbs returns the estimators' starting point (uniform branches).
-func (m *Model) InitialProbs() markov.EdgeProbs { return markov.Uniform(m.Proc) }
+// InitialProbs returns the estimators' starting point: uniform branches,
+// overlaid with the statically pinned edges (which every estimator leaves
+// untouched because their blocks are not unknowns).
+func (m *Model) InitialProbs() markov.EdgeProbs {
+	probs := markov.Uniform(m.Proc)
+	for e, p := range m.Pinned {
+		probs[e] = p
+	}
+	return probs
+}
+
+// EnvelopeCheck reports whether the expected interval duration under probs
+// lies inside the static feasible envelope, within slack cycles. Estimates
+// that fail it are fitting noise (or a mixture component the model cannot
+// realize) and should not drive placement. Models without a bounded
+// envelope always pass.
+func (m *Model) EnvelopeCheck(probs markov.EdgeProbs, slack float64) bool {
+	if m.Envelope == nil || !m.Envelope.Bounded {
+		return true
+	}
+	num, den := 0.0, 0.0
+	for j, p := range m.Paths {
+		pr := p.Prob(probs)
+		num += pr * m.PathTimes[j]
+		den += pr
+	}
+	if den <= 0 {
+		return true
+	}
+	mean := num / den
+	return mean >= float64(m.Envelope.MinCycles)-slack &&
+		mean <= float64(m.Envelope.MaxCycles)+slack
+}
 
 // probsFromEdgeWeights converts expected edge-traversal weights into a
 // probability assignment: each branch block's outgoing weights are
 // normalized (with additive smoothing alpha so no edge is pinned to zero);
 // unconditional edges stay 1.
 func (m *Model) probsFromEdgeWeights(w map[[2]ir.BlockID]float64, alpha float64) markov.EdgeProbs {
-	probs := markov.Uniform(m.Proc)
+	probs := m.InitialProbs()
 	for _, u := range m.Unknowns {
 		total := 0.0
 		for _, e := range u.Edges {

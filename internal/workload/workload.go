@@ -11,16 +11,17 @@ package workload
 import (
 	"math"
 
+	"codetomo/internal/isa"
 	"codetomo/internal/stats"
 )
 
-// clamp10 clamps to the mote ADC's 10-bit range [0, 1023].
+// clamp10 clamps to the mote ADC's 10-bit range [0, isa.ADCMaxReading].
 func clamp10(v float64) uint16 {
 	if v < 0 {
 		return 0
 	}
-	if v > 1023 {
-		return 1023
+	if v > isa.ADCMaxReading {
+		return isa.ADCMaxReading
 	}
 	return uint16(v)
 }
@@ -174,7 +175,7 @@ func Named(name string, rng *stats.RNG) (interface{ Next() uint16 }, bool) {
 	case "gaussian":
 		return NewGaussian(rng, 300, 120), true
 	case "uniform":
-		return NewUniform(rng, 0, 1023), true
+		return NewUniform(rng, 0, isa.ADCMaxReading), true
 	case "bursty":
 		return NewPoissonEvents(rng, 0.05, 8), true
 	case "regime":

@@ -33,6 +33,19 @@ echo "== fuzz smoke (interpreter cores)"
 # Step core: any state divergence on a random program is a crash.
 go test ./internal/mote -run=NONE -fuzz=FuzzFastCore -fuzztime=5s
 
+echo "== fuzz smoke (static bounds)"
+# Random programs: measured cycles and stack depth must never exceed the
+# static WCET/stack bounds, with and without dead-branch elimination.
+go test ./internal/compile -run=NONE -fuzz=FuzzStaticBounds -fuzztime=5s
+
+echo "== staticcheck"
+# Pinned in CI images that carry it; skipped offline (no network installs).
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+
 echo "== bench smoke (estimation kernel, interpreter cores)"
 # One iteration of every benchmark: keeps the bench code compiling and
 # running without paying for stable timings.
