@@ -10,6 +10,7 @@
 // Usage:
 //
 //	ctfleet [-motes 4] [-drop 0.2] [-corrupt 0.05] [-arq 3] [-crash 2000000] [-robust] file.mc
+//	ctfleet -motes 4 -push 127.0.0.1:7100 file.mc    # upload to a running ctstationd instead
 package main
 
 import (
@@ -22,7 +23,8 @@ import (
 	"strings"
 
 	codetomo "codetomo"
-	"codetomo/internal/tomography"
+	"codetomo/internal/cli"
+	"codetomo/internal/station"
 	"codetomo/internal/trace"
 )
 
@@ -60,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perPacket := fs.Int("packet", 0, "trace events per radio packet (0 = default 32)")
 	batches := fs.Int("batches", 0, "uplink rounds for incremental estimation (0 = default 8)")
 	workers := fs.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
+	pushAddr := fs.String("push", "", "push the fleet's frames to a ctstationd TCP ingest at this address instead of estimating locally")
+	pushRetries := fs.Int("pushretries", 3, "stop-and-wait retransmissions per NAKed frame in -push mode")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -92,25 +96,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	usage := func(format string, args ...any) int {
-		fmt.Fprintf(stderr, "ctfleet: "+format+"\n", args...)
-		fmt.Fprintln(stderr, "usage: ctfleet [flags] file.mc")
-		fs.PrintDefaults()
-		return 2
-	}
+	usage := cli.Usage(fs, stderr, "ctfleet", "[flags] file.mc")
 	if fs.NArg() != 1 {
 		return usage("expected exactly one source file, got %d args", fs.NArg())
 	}
-	for _, p := range []struct {
-		name string
-		val  float64
-	}{
-		{"-drop", *drop}, {"-dup", *dup}, {"-reorder", *reorder}, {"-corrupt", *corrupt},
-		{"-brownout", *brownout}, {"-stuck", *stuck}, {"-adcnoise", *adcnoise}, {"-maxtrim", *maxtrim},
-	} {
-		if p.val < 0 || p.val > 1 {
-			return usage("invalid %s: %v is not a probability in [0, 1]", p.name, p.val)
-		}
+	if p, bad := cli.BadProbability(
+		cli.ProbFlag{Name: "-drop", Val: *drop}, cli.ProbFlag{Name: "-dup", Val: *dup},
+		cli.ProbFlag{Name: "-reorder", Val: *reorder}, cli.ProbFlag{Name: "-corrupt", Val: *corrupt},
+		cli.ProbFlag{Name: "-brownout", Val: *brownout}, cli.ProbFlag{Name: "-stuck", Val: *stuck},
+		cli.ProbFlag{Name: "-adcnoise", Val: *adcnoise}, cli.ProbFlag{Name: "-maxtrim", Val: *maxtrim},
+	); bad {
+		return usage("invalid %s: %v is not a probability in [0, 1]", p.Name, p.Val)
 	}
 	if *packetver != trace.PacketVersionLegacy && *packetver != trace.PacketVersionCRC {
 		return usage("invalid -packetver: %d (want %d or %d)", *packetver, trace.PacketVersionLegacy, trace.PacketVersionCRC)
@@ -126,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *motes < 1 {
 		return usage("invalid -motes: %d", *motes)
+	}
+	if *pushRetries < 0 {
+		return usage("invalid -pushretries: %d", *pushRetries)
 	}
 
 	cfg := codetomo.FleetConfig{
@@ -153,16 +152,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
-	switch *estName {
-	case "em":
-		// Default; tuned to the tick inside the pipeline.
-	case "moments":
-		cfg.Estimator = tomography.Moments{}
-	case "histogram":
-		cfg.Estimator = tomography.Histogram{Config: tomography.HistogramConfig{KernelHalfWidth: float64(*tick)}}
-	default:
-		return usage("invalid -estimator: %q (want em, moments, or histogram)", *estName)
+	est, err := cli.Estimator(*estName, *tick)
+	if err != nil {
+		return usage("invalid -estimator: %v", err)
 	}
+	cfg.Estimator = est
 	if *robust && *estName != "em" {
 		return usage("invalid -robust: the robust estimator wraps EM; drop -estimator %s", *estName)
 	}
@@ -172,6 +166,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ctfleet:", err)
 		return 1
 	}
+
+	if *pushAddr != "" {
+		// Client mode: simulate the deployment, then upload the frames to a
+		// running base station over its ARQ'd TCP ingest — the station does
+		// the estimating.
+		uploads, err := codetomo.FleetUploads(string(src), cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "ctfleet:", err)
+			return 1
+		}
+		st, err := station.PushUploads(*pushAddr, uploads, *pushRetries)
+		if err != nil {
+			fmt.Fprintln(stderr, "ctfleet:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "pushed %d motes to %s: %d frames, %d acked, %d retransmitted, %d failed\n",
+			len(uploads), *pushAddr, st.Frames, st.Acked, st.Retransmissions, st.Failed)
+		if st.Failed > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	res, err := codetomo.RunFleet(string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "ctfleet:", err)

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"codetomo/internal/station"
 )
 
 const tinyProgram = `
@@ -60,6 +63,7 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"zero motes", []string{"-motes", "0", prog}, "-motes"},
 		{"unknown estimator", []string{"-estimator", "psychic", prog}, "-estimator"},
 		{"robust over histogram", []string{"-robust", "-estimator", "histogram", prog}, "-robust"},
+		{"negative push retries", []string{"-push", "127.0.0.1:1", "-pushretries", "-1", prog}, "-pushretries"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,6 +101,39 @@ func TestRunHappyPath(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// -push turns ctfleet into a station client: the fleet's frames go to a
+// ctstationd TCP ingest instead of the local estimator.
+func TestRunPushMode(t *testing.T) {
+	prog := writeProgram(t)
+	src, err := os.ReadFile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := station.New(station.Config{Program: string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.ServeTCP(l)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-motes", "2", "-workers", "2", "-push", l.Addr().String(), prog}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "pushed 2 motes") {
+		t.Fatalf("stdout missing push summary:\n%s", stdout.String())
+	}
+	if got := srv.Metrics().FramesAccepted; got == 0 {
+		t.Fatal("station accepted no frames from the push")
 	}
 }
 

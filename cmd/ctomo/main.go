@@ -11,78 +11,84 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	codetomo "codetomo"
-	"codetomo/internal/tomography"
+	"codetomo/internal/cli"
 )
 
 func main() {
-	regime := flag.String("workload", "gaussian", "input regime: gaussian, uniform, bursty, regime, diurnal")
-	seed := flag.Int64("seed", 1, "workload random seed")
-	tick := flag.Int("tick", 8, "timer prescaler in cycles")
-	estName := flag.String("estimator", "em", "estimator: em, moments, or histogram")
-	fuse := flag.Bool("fuse", false, "enable compare-branch fusion in all builds")
-	rotate := flag.Bool("rotate", false, "enable loop rotation in all builds")
-	static := flag.Bool("static", false, "pin statically resolved branches and check fits against the static envelope")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ctomo [flags] file.mc")
-		flag.PrintDefaults()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parse, validate, execute, report. Exit
+// codes: 0 success, 1 pipeline failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctomo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	regime := fs.String("workload", "gaussian", "input regime: gaussian, uniform, bursty, regime, diurnal")
+	seed := fs.Int64("seed", 1, "workload random seed")
+	tick := fs.Int("tick", 8, "timer prescaler in cycles")
+	estName := fs.String("estimator", "em", "estimator: em, moments, or histogram")
+	fuse := fs.Bool("fuse", false, "enable compare-branch fusion in all builds")
+	rotate := fs.Bool("rotate", false, "enable loop rotation in all builds")
+	static := fs.Bool("static", false, "pin statically resolved branches and check fits against the static envelope")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	usage := cli.Usage(fs, stderr, "ctomo", "[flags] file.mc")
+	if fs.NArg() != 1 {
+		return usage("expected exactly one source file, got %d args", fs.NArg())
+	}
+	if *tick < 1 {
+		return usage("invalid -tick: %d cycles", *tick)
 	}
 
 	cfg := codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick,
 		FuseCompares: *fuse, RotateLoops: *rotate, StaticResolve: *static}
-	switch *estName {
-	case "em":
-		// Default; tuned to the tick inside the pipeline.
-	case "moments":
-		cfg.Estimator = tomography.Moments{}
-	case "histogram":
-		cfg.Estimator = tomography.Histogram{Config: tomography.HistogramConfig{KernelHalfWidth: float64(*tick)}}
-	default:
-		fatal(fmt.Errorf("unknown estimator %q", *estName))
+	est, err := cli.Estimator(*estName, *tick)
+	if err != nil {
+		return usage("invalid -estimator: %v", err)
 	}
+	cfg.Estimator = est
 
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "ctomo:", err)
+		return cli.ExitFailure
+	}
 	res, err := codetomo.Run(string(src), cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "ctomo:", err)
+		return cli.ExitFailure
 	}
 
-	fmt.Println("estimates (per procedure):")
+	fmt.Fprintln(stdout, "estimates (per procedure):")
 	for _, pe := range res.Estimates {
 		if pe.Fallback {
-			fmt.Printf("  %-14s %5d samples  (untrusted model; layout left unchanged)\n", pe.Proc, pe.SampleCount)
+			fmt.Fprintf(stdout, "  %-14s %5d samples  (untrusted model; layout left unchanged)\n", pe.Proc, pe.SampleCount)
 			continue
 		}
-		fmt.Printf("  %-14s %5d samples  MAE vs oracle %.4f\n", pe.Proc, pe.SampleCount, pe.MAE)
+		fmt.Fprintf(stdout, "  %-14s %5d samples  MAE vs oracle %.4f\n", pe.Proc, pe.SampleCount, pe.MAE)
 		for _, b := range pe.Branches {
 			warn := ""
 			if b.Ambiguity > 0.9 {
 				warn = "  [structurally ambiguous at this timer resolution]"
 			}
-			fmt.Printf("      b%-3d -> b%-3d  est %.3f  oracle %.3f%s\n", b.FromBlock, b.ToBlock, b.Prob, b.Oracle, warn)
+			fmt.Fprintf(stdout, "      b%-3d -> b%-3d  est %.3f  oracle %.3f%s\n", b.FromBlock, b.ToBlock, b.Prob, b.Oracle, warn)
 		}
 	}
 
-	fmt.Println("\nplacement result (uninstrumented, identical workload):")
-	fmt.Printf("  %-22s %14s %14s\n", "", "original", "optimized")
-	fmt.Printf("  %-22s %14d %14d\n", "cycles", res.Before.Cycles, res.After.Cycles)
-	fmt.Printf("  %-22s %14d %14d\n", "cond branches", res.Before.CondBranches, res.After.CondBranches)
-	fmt.Printf("  %-22s %14d %14d\n", "mispredicts", res.Before.Mispredicts, res.After.Mispredicts)
-	fmt.Printf("  %-22s %13.2f%% %13.2f%%\n", "mispredict rate",
+	fmt.Fprintln(stdout, "\nplacement result (uninstrumented, identical workload):")
+	fmt.Fprintf(stdout, "  %-22s %14s %14s\n", "", "original", "optimized")
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "cycles", res.Before.Cycles, res.After.Cycles)
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "cond branches", res.Before.CondBranches, res.After.CondBranches)
+	fmt.Fprintf(stdout, "  %-22s %14d %14d\n", "mispredicts", res.Before.Mispredicts, res.After.Mispredicts)
+	fmt.Fprintf(stdout, "  %-22s %13.2f%% %13.2f%%\n", "mispredict rate",
 		100*res.Before.MispredictRate(), 100*res.After.MispredictRate())
-	fmt.Printf("  %-22s %14.1f %14.1f\n", "energy (uJ)", res.Before.EnergyUJ, res.After.EnergyUJ)
-	fmt.Printf("\n  misprediction reduction: %.1f%%   speedup: %.3fx\n",
+	fmt.Fprintf(stdout, "  %-22s %14.1f %14.1f\n", "energy (uJ)", res.Before.EnergyUJ, res.After.EnergyUJ)
+	fmt.Fprintf(stdout, "\n  misprediction reduction: %.1f%%   speedup: %.3fx\n",
 		100*res.MispredictReduction(), res.Speedup())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ctomo:", err)
-	os.Exit(1)
+	return cli.ExitOK
 }

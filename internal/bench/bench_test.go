@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -347,6 +347,28 @@ func TestStaticAnalysisBench(t *testing.T) {
 		if pinned == 0 && (cycSaved != 0 || codeSaved != 0) {
 			t.Errorf("%s: control case changed under DBE (cyc %v, code %v)",
 				row[0], cycSaved, codeSaved)
+		}
+	}
+}
+
+func TestStationIngestSweep(t *testing.T) {
+	tab, err := StationIngestSweep(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("ST1 rows = %d, want 9\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		frames, epochs := floatCell(t, row[2]), floatCell(t, row[3])
+		if frames < 1 {
+			t.Errorf("motes=%s shards=%s: no frames ingested", row[0], row[1])
+		}
+		if epochs < 1 {
+			t.Errorf("motes=%s shards=%s: no epochs sealed", row[0], row[1])
+		}
+		if rate := floatCell(t, row[5]); rate <= 0 {
+			t.Errorf("motes=%s shards=%s: nonpositive frame rate %v", row[0], row[1], rate)
 		}
 	}
 }

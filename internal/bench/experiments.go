@@ -52,6 +52,7 @@ func Experiments() []Experiment {
 		{"k1", "Kernel 1: estimation kernel microbenchmarks", KernelBench},
 		{"s1", "Speed 1: interpreter core throughput (fused vs reference)", InterpreterBench},
 		{"sa1", "Static 1: value-range pinning and dead-branch elimination", StaticAnalysisBench},
+		{"st1", "Station 1: base-station ingest throughput vs shards and fleet size", StationIngestSweep},
 	}
 }
 

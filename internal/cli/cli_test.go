@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestUsageNamesFlagAndPrintsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	fs.Int("motes", 4, "deployment size")
+	var stderr bytes.Buffer
+	usage := Usage(fs, &stderr, "demo", "[flags] file.mc")
+
+	if code := usage("invalid -motes: %d", 0); code != ExitUsage {
+		t.Fatalf("usage returned %d, want %d", code, ExitUsage)
+	}
+	out := stderr.String()
+	for _, want := range []string{"demo: invalid -motes: 0", "usage: demo [flags] file.mc", "-motes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadProbability(t *testing.T) {
+	if f, bad := BadProbability(ProbFlag{"-drop", 0}, ProbFlag{"-dup", 1}); bad {
+		t.Fatalf("in-range values flagged: %+v", f)
+	}
+	f, bad := BadProbability(ProbFlag{"-drop", 0.5}, ProbFlag{"-corrupt", 1.5})
+	if !bad || f.Name != "-corrupt" {
+		t.Fatalf("got %+v bad=%v, want -corrupt flagged", f, bad)
+	}
+	f, bad = BadProbability(ProbFlag{"-stuck", -0.1})
+	if !bad || f.Name != "-stuck" {
+		t.Fatalf("got %+v bad=%v, want -stuck flagged", f, bad)
+	}
+}
+
+func TestEstimatorResolution(t *testing.T) {
+	if est, err := Estimator("em", 8); err != nil || est != nil {
+		t.Fatalf("em: got (%v, %v), want (nil, nil) — the pipeline supplies the tuned default", est, err)
+	}
+	for _, name := range []string{"moments", "histogram"} {
+		est, err := Estimator(name, 8)
+		if err != nil || est == nil || est.Name() != name {
+			t.Fatalf("%s: got (%v, %v)", name, est, err)
+		}
+	}
+	if _, err := Estimator("psychic", 8); err == nil || !strings.Contains(err.Error(), "psychic") {
+		t.Fatalf("unknown estimator error = %v, want it to name the value", err)
+	}
+}

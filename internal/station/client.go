@@ -1,0 +1,86 @@
+package station
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"codetomo/internal/fleet"
+)
+
+// PushStats is the accounting for one client push session.
+type PushStats struct {
+	// Frames is how many frames the session attempted; Acked how many the
+	// station accepted; Retransmissions how many extra sends the
+	// stop-and-wait ARQ spent on NAKs; Failed how many frames exhausted
+	// their retry budget and were abandoned.
+	Frames, Acked, Retransmissions, Failed int
+}
+
+// Push uploads raw frames to a station's TCP ingest with a stop-and-wait
+// ARQ: each frame is retransmitted on NAK up to retries extra times
+// (retries < 0 selects the default of 3) before being abandoned. Transport
+// errors — a dead station mid-stream — abort the session; per-frame NAKs
+// do not.
+func Push(addr string, frames [][]byte, retries int) (PushStats, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return PushStats{}, fmt.Errorf("station: push: %w", err)
+	}
+	defer conn.Close()
+	return push(conn, frames, retries)
+}
+
+// PushUploads is Push over a simulated fleet's deliveries, in mote order —
+// the loopback demo's client half.
+func PushUploads(addr string, uploads []fleet.MoteUpload, retries int) (PushStats, error) {
+	var frames [][]byte
+	for _, up := range uploads {
+		frames = append(frames, up.Frames...)
+	}
+	return Push(addr, frames, retries)
+}
+
+func push(conn io.ReadWriter, frames [][]byte, retries int) (PushStats, error) {
+	if retries < 0 {
+		retries = 3
+	}
+	var st PushStats
+	var hdr [2]byte
+	var status [1]byte
+	for _, f := range frames {
+		if len(f) == 0 || len(f) > maxWireFrame {
+			st.Frames++
+			st.Failed++ // unsendable on this transport; the wire would reject it
+			continue
+		}
+		st.Frames++
+		binary.LittleEndian.PutUint16(hdr[:], uint16(len(f)))
+		acked := false
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 {
+				st.Retransmissions++
+			}
+			if _, err := conn.Write(hdr[:]); err != nil {
+				return st, fmt.Errorf("station: push: %w", err)
+			}
+			if _, err := conn.Write(f); err != nil {
+				return st, fmt.Errorf("station: push: %w", err)
+			}
+			if _, err := io.ReadFull(conn, status[:]); err != nil {
+				return st, fmt.Errorf("station: push: %w", err)
+			}
+			if status[0] == AckByte {
+				acked = true
+				break
+			}
+		}
+		if acked {
+			st.Acked++
+		} else {
+			st.Failed++
+		}
+	}
+	return st, nil
+}

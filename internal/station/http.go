@@ -1,0 +1,52 @@
+package station
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the station's HTTP/JSON API:
+//
+//	GET  /healthz            liveness plus the current epoch
+//	GET  /v1/models          the latest snapshot (every procedure)
+//	GET  /v1/models/{proc}   one procedure's model
+//	GET  /v1/metrics         ingest and estimation observability
+//	POST /v1/epoch           force an epoch cut; returns the new snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": s.Epoch()})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Latest())
+	})
+	mux.HandleFunc("GET /v1/models/{proc}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("proc")
+		snap := s.Latest()
+		for i := range snap.Procs {
+			if snap.Procs[i].Proc == name {
+				writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Epoch, "model": snap.Procs[i]})
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown procedure " + name})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("POST /v1/epoch", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := s.CutEpoch()
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away; nothing to do
+}

@@ -202,6 +202,7 @@ type UplinkStats struct {
 // packets that may arrive duplicated, reordered, or not at all.
 type Reassembler struct {
 	moteID   uint16
+	base     uint32
 	payloads map[uint32][]mote.TraceEvent
 	dups     int
 	corrupt  int
@@ -209,14 +210,29 @@ type Reassembler struct {
 
 // NewReassembler returns a reassembler for the given mote's stream.
 func NewReassembler(moteID uint16) *Reassembler {
-	return &Reassembler{moteID: moteID, payloads: make(map[uint32][]mote.TraceEvent)}
+	return NewReassemblerAt(moteID, 0)
 }
 
-// Add accepts one received packet. Duplicates (same sequence number) are
-// counted and discarded; a packet from a different mote is an error.
+// NewReassemblerAt returns a reassembler whose stream starts at firstSeq
+// instead of 0. A long-running base station seals its receive window at
+// every estimation epoch and resumes reassembly from the next expected
+// sequence number: without the base, everything the previous epochs already
+// consumed would be counted as lost. Packets below firstSeq are stale
+// redeliveries of sealed data and are discarded like duplicates.
+func NewReassemblerAt(moteID uint16, firstSeq uint32) *Reassembler {
+	return &Reassembler{moteID: moteID, base: firstSeq, payloads: make(map[uint32][]mote.TraceEvent)}
+}
+
+// Add accepts one received packet. Duplicates (same sequence number) and
+// stale packets (below the stream's first sequence) are counted and
+// discarded; a packet from a different mote is an error.
 func (r *Reassembler) Add(p Packet) error {
 	if p.MoteID != r.moteID {
 		return fmt.Errorf("trace: packet from mote %d on mote %d's stream", p.MoteID, r.moteID)
+	}
+	if p.Seq < r.base {
+		r.dups++
+		return nil
 	}
 	if _, ok := r.payloads[p.Seq]; ok {
 		r.dups++
@@ -224,6 +240,20 @@ func (r *Reassembler) Add(p Packet) error {
 	}
 	r.payloads[p.Seq] = p.Events
 	return nil
+}
+
+// NextSeq returns the sequence number a successor stream should start at:
+// one past the highest sequence received, or the stream's own base when
+// nothing has arrived. It is the rebasing hand-off between estimation
+// epochs.
+func (r *Reassembler) NextSeq() uint32 {
+	next := r.base
+	for s := range r.payloads {
+		if s+1 > next {
+			next = s + 1
+		}
+	}
+	return next
 }
 
 // AddFrame accepts one raw frame off the radio. Frames that fail to
@@ -264,7 +294,7 @@ func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
 		seqs = append(seqs, s)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	st.PacketsLost = int(seqs[len(seqs)-1]) + 1 - len(seqs)
+	st.PacketsLost = int(seqs[len(seqs)-1]-r.base) + 1 - len(seqs)
 
 	var out []Interval
 	var segment []mote.TraceEvent

@@ -8,6 +8,7 @@ import (
 	"codetomo/internal/compile"
 	"codetomo/internal/fault"
 	"codetomo/internal/fleet"
+	"codetomo/internal/isa"
 	"codetomo/internal/layout"
 	"codetomo/internal/markov"
 	"codetomo/internal/mote"
@@ -231,6 +232,56 @@ func fleetSpecs(cfg FleetConfig) []fleet.MoteSpec {
 	return specs
 }
 
+// simConfig assembles the deployment simulation config shared by RunFleet
+// and FleetUploads: the instrumented binary, the mote machine shape, and
+// the radio channel, all derived from one FleetConfig (defaults filled).
+func simConfig(cfg FleetConfig, prog []isa.Instr) fleet.SimConfig {
+	mc := mote.DefaultConfig()
+	mc.TickDiv = cfg.TickDiv
+	mc.Predictor = cfg.Predictor
+	return fleet.SimConfig{
+		Prog:      prog,
+		Mote:      mc,
+		MaxCycles: cfg.MaxCycles,
+		Workers:   cfg.Workers,
+		Link: fleet.LinkConfig{
+			DropProb:        cfg.DropProb,
+			DupProb:         cfg.DupProb,
+			ReorderProb:     cfg.ReorderProb,
+			CorruptProb:     cfg.CorruptProb,
+			EventsPerPacket: cfg.EventsPerPacket,
+			PacketVersion:   cfg.PacketVersion,
+			ARQ:             fleet.ARQConfig{MaxRetries: cfg.ARQRetries, BackoffBaseTicks: cfg.ARQBackoffTicks},
+			Seed:            cfg.Seed + fleetLinkSeed,
+		},
+		Faults: cfg.Faults,
+	}
+}
+
+// FleetUploads runs only the deployment half of RunFleet — the
+// instrumented build, N motes under heterogeneous workloads and faults,
+// and the lossy uplink — and returns the raw per-mote uploads: the frames
+// exactly as the channel delivered them, undecoded. It is the feed for a
+// long-running base station (cmd/ctstationd) ingesting over the wire
+// instead of estimating in-process, and follows RunFleet's determinism
+// contract: a fixed config yields bit-identical frames regardless of
+// Workers and GOMAXPROCS.
+func FleetUploads(source string, cfg FleetConfig) ([]fleet.MoteUpload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	prof, err := compile.Build(source, compile.Options{
+		Instrument:   compile.ModeTimestamps,
+		FuseCompares: cfg.FuseCompares,
+		RotateLoops:  cfg.RotateLoops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Simulate(simConfig(cfg, prof.Code), fleetSpecs(cfg))
+}
+
 // RunFleet executes the Code Tomography pipeline against a simulated
 // deployment: N motes run the instrumented binary under heterogeneous
 // workloads, upload their traces over a lossy radio link, and the base
@@ -260,26 +311,7 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	}
 
 	// 2. Simulate the deployment on a bounded worker pool.
-	mc := mote.DefaultConfig()
-	mc.TickDiv = cfg.TickDiv
-	mc.Predictor = cfg.Predictor
-	sim := fleet.SimConfig{
-		Prog:      prof.Code,
-		Mote:      mc,
-		MaxCycles: cfg.MaxCycles,
-		Workers:   cfg.Workers,
-		Link: fleet.LinkConfig{
-			DropProb:        cfg.DropProb,
-			DupProb:         cfg.DupProb,
-			ReorderProb:     cfg.ReorderProb,
-			CorruptProb:     cfg.CorruptProb,
-			EventsPerPacket: cfg.EventsPerPacket,
-			PacketVersion:   cfg.PacketVersion,
-			ARQ:             fleet.ARQConfig{MaxRetries: cfg.ARQRetries, BackoffBaseTicks: cfg.ARQBackoffTicks},
-			Seed:            cfg.Seed + fleetLinkSeed,
-		},
-		Faults: cfg.Faults,
-	}
+	sim := simConfig(cfg, prof.Code)
 	fst := fleet.Stats{Motes: cfg.Motes, SamplesPerProc: make(map[string]int)}
 
 	// One bounded pool serves the whole campaign: mote simulation (with

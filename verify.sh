@@ -46,10 +46,16 @@ else
 	echo "staticcheck not installed; skipping"
 fi
 
-echo "== bench smoke (estimation kernel, interpreter cores)"
+echo "== bench smoke (estimation kernel, interpreter cores, station)"
 # One iteration of every benchmark: keeps the bench code compiling and
 # running without paying for stable timings.
-go test ./internal/tomography ./internal/markov ./internal/mote -run='^$' -bench=. -benchtime=1x
+go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station -run='^$' -bench=. -benchtime=1x
+
+echo "== station smoke (daemon boot, loopback push, HTTP, clean shutdown)"
+# Boots ctstationd in-process on ephemeral loopback ports, pushes one
+# simulated fleet round over the ARQ'd TCP ingest, asserts /healthz and a
+# non-empty /v1/models, and verifies the SIGTERM drain path exits 0.
+go test ./cmd/ctstationd -run='^TestStationSmoke$' -count=1
 
 echo "== ctlint examples"
 go run ./cmd/ctlint examples/minic/*.mc
