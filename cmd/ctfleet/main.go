@@ -10,10 +10,12 @@
 // Usage:
 //
 //	ctfleet [-motes 4] [-drop 0.2] [-corrupt 0.05] [-arq 3] [-crash 2000000] [-robust] file.mc
+//	ctfleet -harvest 0.8 -capacitor 60 -ckpt 4 file.mc    # intermittent, energy-harvesting fleet
 //	ctfleet -motes 4 -push 127.0.0.1:7100 file.mc    # upload to a running ctstationd instead
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stuck := fs.Float64("stuck", 0, "per-read probability in [0,1] of an ADC stuck-at episode")
 	adcnoise := fs.Float64("adcnoise", 0, "per-read probability in [0,1] of an ADC glitch")
 	faultseed := fs.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
+	harvest := fs.Float64("harvest", 0, "mean harvested power in uJ per 1000 cycles (0 = mains power; CPU draw is ~1.35)")
+	harvestNoise := fs.Float64("harvestnoise", 0, "sigma of the per-window lognormal harvest noise (0 = noiseless)")
+	diurnal := fs.Uint64("diurnal", 0, "solar day length in cycles for the harvest envelope (0 = flat source)")
+	capacitor := fs.Float64("capacitor", 0, "storage capacitor size in uJ (0 = default 1000)")
+	ckpt := fs.Int("ckpt", 0, "checkpoint every K completed invocations (0 = off)")
+	ckptLow := fs.Float64("ckptlow", 0, "checkpoint when charge falls below this fraction of capacity (0 = off)")
 	maxcycles := fs.Uint64("maxcycles", 0, "per-mote cycle budget (0 = default)")
 	robust := fs.Bool("robust", false, "outlier-robust estimation with per-procedure confidence gating")
 	trim := fs.Float64("trim", 0, "robust outlier cut in cycles (0 = default 4x the EM kernel)")
@@ -64,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
 	pushAddr := fs.String("push", "", "push the fleet's frames to a ctstationd TCP ingest at this address instead of estimating locally")
 	pushRetries := fs.Int("pushretries", 3, "stop-and-wait retransmissions per NAKed frame in -push mode")
+	pushTimeout := fs.Duration("pushtimeout", station.DefaultAckTimeout, "per-frame ACK deadline in -push mode (a station that accepts but never answers aborts the session)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +135,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *pushRetries < 0 {
 		return usage("invalid -pushretries: %d", *pushRetries)
 	}
+	if *pushTimeout < 0 {
+		return usage("invalid -pushtimeout: %v", *pushTimeout)
+	}
+	if *harvest < 0 {
+		return usage("invalid -harvest: %v uJ/kcycle", *harvest)
+	}
+	if *harvestNoise < 0 {
+		return usage("invalid -harvestnoise: %v", *harvestNoise)
+	}
+	if *capacitor < 0 {
+		return usage("invalid -capacitor: %v uJ", *capacitor)
+	}
+	if *ckpt < 0 {
+		return usage("invalid -ckpt: %d invocations", *ckpt)
+	}
+	if *ckptLow < 0 || *ckptLow >= 1 {
+		return usage("invalid -ckptlow: %v is not a fraction in [0, 1)", *ckptLow)
+	}
+	if (*ckpt > 0 || *ckptLow > 0) && *harvest == 0 {
+		return usage("invalid -ckpt/-ckptlow: checkpointing needs an energy schedule; set -harvest")
+	}
 
 	cfg := codetomo.FleetConfig{
 		Config:          codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick, MaxCycles: *maxcycles},
@@ -149,6 +179,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Faults.SensorStuckProb = *stuck
 	cfg.Faults.SensorNoiseProb = *adcnoise
 	cfg.Faults.Seed = *faultseed
+	cfg.Energy.HarvestUJPerKCycle = *harvest
+	cfg.Energy.HarvestNoiseSigma = *harvestNoise
+	cfg.Energy.DiurnalPeriodCycles = *diurnal
+	cfg.Energy.CapacityUJ = *capacitor
+	cfg.Checkpoint.EveryKInvocations = *ckpt
+	cfg.Checkpoint.OnLowChargeFrac = *ckptLow
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
@@ -176,9 +212,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ctfleet:", err)
 			return 1
 		}
-		st, err := station.PushUploads(*pushAddr, uploads, *pushRetries)
+		st, err := station.PushUploads(*pushAddr, uploads, station.PushConfig{Retries: *pushRetries, AckTimeout: *pushTimeout})
 		if err != nil {
 			fmt.Fprintln(stderr, "ctfleet:", err)
+			if errors.Is(err, station.ErrAckTimeout) {
+				fmt.Fprintln(stderr, "ctfleet: the station accepted the connection but never ACKed; raise -pushtimeout or check the station")
+			}
 			return 1
 		}
 		fmt.Fprintf(stdout, "pushed %d motes to %s: %d frames, %d acked, %d retransmitted, %d failed\n",
@@ -232,5 +271,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  %-22s %14.1f %14.1f\n", "energy (uJ)", res.Before.EnergyUJ, res.After.EnergyUJ)
 	fmt.Fprintf(stdout, "\n  misprediction reduction: %.1f%%   speedup: %.3fx\n",
 		100*res.MispredictReduction(), res.Speedup())
+
+	if it := res.Intermittence; it != nil {
+		fmt.Fprintln(stdout, "\nintermittent execution (harvested power):")
+		fmt.Fprintf(stdout, "  %-34s %d completed, %d lost partials (%.1f%% completion)\n",
+			"invocations", it.Completed, it.LostPartials, 100*it.CompletionRate)
+		fmt.Fprintf(stdout, "  %-34s %.3g per cycle at mean duration %.0f cycles\n",
+			"power-failure hazard", it.HazardPerCycle, it.MeanDurationCycles)
+		fmt.Fprintf(stdout, "  %-34s %.0f measured, %.0f predicted optimized\n",
+			"completed invocations per joule", it.CompletedPerJoule, it.PredictedCompletedPerJoule)
+	}
 	return 0
 }

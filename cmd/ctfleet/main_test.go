@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -155,5 +156,41 @@ func TestRunFaultyDeployment(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "mote resets") {
 		t.Fatalf("stdout missing fault accounting:\n%s", stdout.String())
+	}
+}
+
+// A wedged station — accepts the connection, never ACKs — must fail the
+// push loudly and point at the knob, not hang the campaign.
+func TestRunPushTimeout(t *testing.T) {
+	prog := writeProgram(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-motes", "1", "-workers", "1",
+		"-push", l.Addr().String(), "-pushtimeout", "200ms",
+		prog,
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-pushtimeout") {
+		t.Fatalf("stderr does not point at -pushtimeout:\n%s", stderr.String())
 	}
 }

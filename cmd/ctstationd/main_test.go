@@ -144,7 +144,7 @@ func TestStationSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := station.PushUploads(tcpAddr, uploads, 3)
+	st, err := station.PushUploads(tcpAddr, uploads, station.PushConfig{Retries: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -188,6 +188,11 @@ type ProcEstimate struct {
 	// TrimmedSamples counts observations the robust estimator discarded
 	// as model-implausible outliers (0 under plain estimation).
 	TrimmedSamples int
+	// LostPartials counts invocations of this procedure that were
+	// power-truncated mid-execution (intermittent fleets only). They carry
+	// no duration, but their count corrects the survival bias of the
+	// completed samples.
+	LostPartials int
 	// LowConfidence reports the robust estimator did not trust its own
 	// result (excessive trimming or non-convergence); the procedure's
 	// layout was left at the baseline instead of being optimized on it.

@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"s1", "Speed 1: interpreter core throughput (fused vs reference)", InterpreterBench},
 		{"sa1", "Static 1: value-range pinning and dead-branch elimination", StaticAnalysisBench},
 		{"st1", "Station 1: base-station ingest throughput vs shards and fleet size", StationIngestSweep},
+		{"in1", "Intermittent 1: completion and estimation under harvested power", IntermittentSweep},
 	}
 }
 

@@ -56,6 +56,15 @@ type SimConfig struct {
 	// faults, derived per mote from the fault seed. The zero value is a
 	// healthy deployment.
 	Faults fault.Config
+	// Energy, when enabled, powers every mote from a harvesting capacitor
+	// (fault.EnergyConfig): execution browns out wherever the program's
+	// own energy consumption drains the charge, not on a wall-clock
+	// schedule. Composes with Faults — watchdog windows become dead time
+	// during which harvest continues.
+	Energy fault.EnergyConfig
+	// Checkpoint is the checkpoint/restore policy motes run under Energy
+	// (ignored otherwise). The zero value cold-boots on every outage.
+	Checkpoint mote.CheckpointPolicy
 }
 
 // MoteUpload is what the base station holds for one mote after its upload:
@@ -175,15 +184,19 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 		mc.Resets = cfg.Faults.Resets(cfg.MaxCycles, int64(spec.ID))
 		mc.Sensor = cfg.Faults.WrapSensor(mc.Sensor, int64(spec.ID))
 	}
+	if cfg.Energy.Enabled() {
+		mc.Power = cfg.Energy.Power(int64(spec.ID), cfg.Checkpoint)
+	}
 	m := mote.New(cfg.Prog, mc)
 	if err := m.Run(cfg.MaxCycles); err != nil {
-		// Under fault injection a mote that never finishes its campaign —
-		// crash-looping past the cycle budget, or filling the trace buffer
+		// Under fault injection or harvested power a mote that never
+		// finishes its campaign — crash-looping past the cycle budget,
+		// stalled on an empty capacitor, or filling the trace buffer
 		// re-running work — is an expected outcome, not a failure: the
 		// base station works with whatever was logged before the window
 		// closed. Anything else (or any error on a healthy fleet) is a
 		// real bug and aborts.
-		expected := cfg.Faults.Enabled() &&
+		expected := (cfg.Faults.Enabled() || cfg.Energy.Enabled()) &&
 			(errors.Is(err, mote.ErrCycleBudget) || errors.Is(err, mote.ErrTraceOverflow))
 		if !expected {
 			return MoteUpload{}, err
@@ -217,6 +230,16 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 		BranchStats:  m.BranchStats(),
 		Stats:        m.Stats(),
 	}, nil
+}
+
+// MoteEnergyUJ prices one mote's run in microjoules: the capacitor drain
+// when the mote ran from harvested power (which already excludes dead
+// time), the default energy model's price of the run otherwise.
+func MoteEnergyUJ(s mote.Stats) float64 {
+	if s.DrainedUJ > 0 {
+		return s.DrainedUJ
+	}
+	return mote.DefaultEnergyModel().Energy(s)
 }
 
 // Reassemble runs one mote's delivered frames through the loss-tolerant

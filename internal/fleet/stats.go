@@ -22,6 +22,13 @@ type MoteUplink struct {
 	Sent, Delivered, Corrupted int
 	// Retransmissions and Recovered are the mote's ARQ effort and payoff.
 	Retransmissions, Recovered int
+	// EnergyUJ is the mote's consumed energy in microjoules: capacitor
+	// drain under harvested power, the energy model's price of the run on
+	// a mains-powered mote.
+	EnergyUJ float64
+	// PowerFailures and Restores count this mote's brownout deaths and
+	// checkpoint resumes (0 on a mains-powered fleet).
+	PowerFailures, Restores uint64
 }
 
 // Goodput is the fraction of radio transmissions that became usable
@@ -47,6 +54,12 @@ type Stats struct {
 	ARQ ARQStats
 	// Resets counts fault-injected reboots across the fleet.
 	Resets uint64
+	// Energy totals across the fleet: EnergyUJ sums each mote's consumed
+	// energy (model-priced on mains power, capacitor drain under
+	// harvesting); HarvestedUJ is the banked harvest (0 on mains power).
+	EnergyUJ, HarvestedUJ float64
+	// Intermittence counters across the fleet (all 0 on mains power).
+	PowerFailures, Checkpoints, Restores, LostVolatileEvents uint64
 	// PerMote is the per-mote uplink breakdown, in mote order.
 	PerMote []MoteUplink
 	// EventsLogged is the total mote-side trace length before the radio.
@@ -91,6 +104,7 @@ func (s Stats) Tables() []*report.Table {
 		[2]string{"events delivered", report.I(s.Uplink.EventsDelivered)},
 		[2]string{"invocations recovered", report.I(s.Uplink.InvocationsRecovered)},
 		[2]string{"invocations discarded", report.I(s.Uplink.InvocationsDiscarded)},
+		[2]string{"invocations lost to power (partials)", report.I(s.Uplink.LostPartials)},
 	)
 	est := report.KV("Fleet estimation",
 		[2]string{"procedures estimated", report.I(s.EstimatedProcs)},
@@ -104,6 +118,22 @@ func (s Stats) Tables() []*report.Table {
 		[2]string{"estimate wall", s.EstimateWall.String()},
 	)
 	out := []*report.Table{uplink}
+	if s.EnergyUJ > 0 {
+		perInv := "n/a"
+		if s.Uplink.InvocationsRecovered > 0 {
+			perInv = fmt.Sprintf("%.3f", s.EnergyUJ/float64(s.Uplink.InvocationsRecovered))
+		}
+		energy := report.KV("Fleet energy",
+			[2]string{"energy consumed (µJ)", fmt.Sprintf("%.1f", s.EnergyUJ)},
+			[2]string{"energy harvested (µJ)", fmt.Sprintf("%.1f", s.HarvestedUJ)},
+			[2]string{"energy per completed invocation (µJ)", perInv},
+			[2]string{"power failures", report.I(int(s.PowerFailures))},
+			[2]string{"checkpoints taken", report.I(int(s.Checkpoints))},
+			[2]string{"checkpoint restores", report.I(int(s.Restores))},
+			[2]string{"volatile events lost", report.I(int(s.LostVolatileEvents))},
+		)
+		out = append(out, energy)
+	}
 	if s.ARQ != (ARQStats{}) {
 		out = append(out, report.KV("Fleet ARQ",
 			[2]string{"retransmission rounds", report.I(s.ARQ.Rounds)},
@@ -118,10 +148,12 @@ func (s Stats) Tables() []*report.Table {
 	if len(s.PerMote) > 0 {
 		pm := &report.Table{
 			Title:  "Per-mote uplink",
-			Header: []string{"mote", "resets", "sent", "delivered", "rejected", "retrans", "recovered", "goodput"},
+			Header: []string{"mote", "resets", "pwrfail", "restores", "energy µJ", "sent", "delivered", "rejected", "retrans", "recovered", "goodput"},
 		}
 		for _, m := range s.PerMote {
-			pm.AddRow(report.I(int(m.ID)), report.I(int(m.Resets)), report.I(m.Sent),
+			pm.AddRow(report.I(int(m.ID)), report.I(int(m.Resets)),
+				report.I(int(m.PowerFailures)), report.I(int(m.Restores)),
+				fmt.Sprintf("%.1f", m.EnergyUJ), report.I(m.Sent),
 				report.I(m.Delivered), report.I(m.Corrupted),
 				report.I(m.Retransmissions), report.I(m.Recovered),
 				fmt.Sprintf("%.1f%%", 100*m.Goodput()))

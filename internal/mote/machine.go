@@ -92,9 +92,25 @@ type Stats struct {
 	LEDWrites     uint64
 	SensorReads   uint64
 	// Resets counts fault-injected reboots taken; DownCycles is the total
-	// dead time they cost (included in Cycles).
+	// dead time they cost (included in Cycles). Under power mode DownCycles
+	// also includes capacitor recharge waits and restore overhead.
 	Resets     uint64
 	DownCycles uint64
+	// Intermittent-execution counters, all zero on mains power (see
+	// power.go). PowerFailures counts brownout outages; Restores counts
+	// the subset of boots (power failures and watchdog resets) that
+	// resumed from a durable checkpoint rather than cold; Checkpoints
+	// counts images written. HarvestedUJ is energy actually banked in the
+	// capacitor (spill on a full capacitor is excluded) and DrainedUJ is
+	// energy consumed through the EnergyModel plus checkpoint costs.
+	// LostVolatileEvents counts trace events discarded from the
+	// uncommitted volatile window across all outages.
+	PowerFailures      uint64
+	Checkpoints        uint64
+	Restores           uint64
+	LostVolatileEvents uint64
+	HarvestedUJ        float64
+	DrainedUJ          float64
 }
 
 // Config sets the machine's architectural parameters.
@@ -122,6 +138,11 @@ type Config struct {
 	// Sensor and Entropy feed the ADC and RNG ports.
 	Sensor  SampleSource
 	Entropy SampleSource
+	// Power, when non-nil, runs the mote from a harvested-energy capacitor
+	// instead of mains: instructions drain charge through the energy
+	// model, and the machine power-fails (checkpoint/restore or cold boot)
+	// whenever charge reaches the brownout floor. See power.go.
+	Power *PowerConfig
 }
 
 // DefaultConfig returns the configuration used across the evaluation:
@@ -165,6 +186,15 @@ type Machine struct {
 	predKind  uint8
 	bimodal   *Bimodal
 	trainable TrainablePredictor
+
+	// Intermittent-execution state (nil power = mains, see power.go).
+	// durableLen is the committed-trace watermark: events at or beyond it
+	// live in the volatile RAM window and die with a power loss.
+	power        *powerState
+	durableLen   int
+	traceDepth   int
+	invSinceCkpt int
+	ckptImage    []byte
 
 	stats Stats
 }
@@ -215,6 +245,11 @@ func New(prog []isa.Instr, cfg Config) *Machine {
 	default:
 		m.predKind = predGeneric
 		m.trainable, _ = cfg.Predictor.(TrainablePredictor)
+	}
+	if cfg.Power != nil {
+		pw := cfg.Power.withDefaults()
+		m.cfg.Power = &pw
+		m.power = &powerState{cfg: pw, charge: pw.StartChargeUJ}
 	}
 	return m
 }
@@ -307,16 +342,32 @@ func (m *Machine) RunReference(maxCycles uint64) error {
 // Step executes a single instruction on the reference core, or takes a
 // pending fault-injected reset when its scheduled cycle has been reached.
 // It is the public single-step API (sampling profilers and debuggers hook
-// it); the batch path is Run's fused loop.
+// it); the batch path is Run's fused loop. Under power mode (Config.Power
+// non-nil) each step additionally runs the capacitor accounting in
+// power.go.
 func (m *Machine) Step() error {
 	if m.halted {
 		return nil
 	}
 	if m.resetIdx < len(m.cfg.Resets) && m.stats.Cycles >= m.cfg.Resets[m.resetIdx].AtCycle {
-		m.reboot(m.cfg.Resets[m.resetIdx].DownCycles)
+		down := m.cfg.Resets[m.resetIdx].DownCycles
 		m.resetIdx++
+		if m.power != nil {
+			m.powerAwareReset(down)
+		} else {
+			m.reboot(down)
+		}
 		return nil
 	}
+	if m.power != nil {
+		return m.stepPowered()
+	}
+	return m.stepInstr()
+}
+
+// stepInstr executes exactly one instruction (no reset or power checks):
+// the shared core under Step and stepPowered.
+func (m *Machine) stepInstr() error {
 	if m.pc < 0 || int(m.pc) >= len(m.prog) {
 		return fmt.Errorf("%w: pc=%d", ErrPCFault, m.pc)
 	}
@@ -512,14 +563,7 @@ func (m *Machine) Step() error {
 // survives resets; an EpochMarkID record separates the epochs so decoders
 // never pair an enter logged before the crash with an exit logged after.
 func (m *Machine) reboot(downCycles uint64) {
-	m.pc = 0
-	m.sp = int32(m.cfg.RAMWords)
-	m.regs = [16]uint16{}
-	for i := range m.mem {
-		m.mem[i] = 0
-	}
-	m.radioBuf = m.radioBuf[:0]
-	m.ledState = 0
+	m.clearVolatileState()
 	m.stats.Cycles += downCycles
 	m.stats.Resets++
 	m.stats.DownCycles += downCycles

@@ -32,6 +32,13 @@ const (
 // cycle count and pc reported on budget exhaustion), trace, registers,
 // and memory.
 func (m *Machine) Run(maxCycles uint64) error {
+	if m.power != nil {
+		// Intermittent execution drains the capacitor per instruction, so
+		// there are no reset-free segments to fuse: delegate to the
+		// per-instruction reference loop. Both cores are then identical by
+		// construction under power mode.
+		return m.RunReference(maxCycles)
+	}
 	for !m.halted {
 		if m.stats.Cycles >= maxCycles {
 			return fmt.Errorf("%w at pc=%d after %d instructions", ErrCycleBudget, m.pc, m.stats.Instructions)

@@ -2,9 +2,11 @@ package station
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"codetomo/internal/fleet"
 )
@@ -18,34 +20,76 @@ type PushStats struct {
 	Frames, Acked, Retransmissions, Failed int
 }
 
+// DefaultAckTimeout bounds how long a push session waits for the
+// station's per-frame ACK/NAK byte when the caller does not choose a
+// deadline. A station that accepts the connection but never answers
+// (wedged, half-open, firewalled return path) would otherwise hang the
+// client forever.
+const DefaultAckTimeout = 10 * time.Second
+
+// ErrAckTimeout reports that the station accepted a frame but its ACK
+// never arrived within the configured deadline; the session is aborted
+// (the connection state is unknown, so retrying on it would misattribute
+// ACKs).
+var ErrAckTimeout = errors.New("station: timed out waiting for ACK")
+
+// PushConfig tunes a client push session.
+type PushConfig struct {
+	// Retries is the per-frame retransmission budget on NAK (< 0 selects
+	// the default of 3).
+	Retries int
+	// AckTimeout bounds each wait for the station's ACK/NAK byte
+	// (0 selects DefaultAckTimeout; negative disables the deadline).
+	AckTimeout time.Duration
+}
+
+func (c PushConfig) withDefaults() PushConfig {
+	if c.Retries < 0 {
+		c.Retries = 3
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = DefaultAckTimeout
+	}
+	return c
+}
+
 // Push uploads raw frames to a station's TCP ingest with a stop-and-wait
-// ARQ: each frame is retransmitted on NAK up to retries extra times
-// (retries < 0 selects the default of 3) before being abandoned. Transport
-// errors — a dead station mid-stream — abort the session; per-frame NAKs
-// do not.
+// ARQ and the default ACK deadline: each frame is retransmitted on NAK up
+// to retries extra times (retries < 0 selects the default of 3) before
+// being abandoned. Transport errors — a dead station mid-stream, or an
+// ACK that never arrives — abort the session; per-frame NAKs do not.
 func Push(addr string, frames [][]byte, retries int) (PushStats, error) {
+	return PushFrames(addr, frames, PushConfig{Retries: retries})
+}
+
+// PushFrames is Push with the session fully configured.
+func PushFrames(addr string, frames [][]byte, cfg PushConfig) (PushStats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return PushStats{}, fmt.Errorf("station: push: %w", err)
 	}
 	defer conn.Close()
-	return push(conn, frames, retries)
+	return push(conn, frames, cfg)
 }
 
-// PushUploads is Push over a simulated fleet's deliveries, in mote order —
-// the loopback demo's client half.
-func PushUploads(addr string, uploads []fleet.MoteUpload, retries int) (PushStats, error) {
+// PushUploads is PushFrames over a simulated fleet's deliveries, in mote
+// order — the loopback demo's client half.
+func PushUploads(addr string, uploads []fleet.MoteUpload, cfg PushConfig) (PushStats, error) {
 	var frames [][]byte
 	for _, up := range uploads {
 		frames = append(frames, up.Frames...)
 	}
-	return Push(addr, frames, retries)
+	return PushFrames(addr, frames, cfg)
 }
 
-func push(conn io.ReadWriter, frames [][]byte, retries int) (PushStats, error) {
-	if retries < 0 {
-		retries = 3
-	}
+// deadlineConn is the slice of net.Conn the push loop needs to bound ACK
+// waits; the io.ReadWriter form keeps in-memory pipes testable.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+}
+
+func push(conn io.ReadWriter, frames [][]byte, cfg PushConfig) (PushStats, error) {
+	cfg = cfg.withDefaults()
 	var st PushStats
 	var hdr [2]byte
 	var status [1]byte
@@ -58,7 +102,7 @@ func push(conn io.ReadWriter, frames [][]byte, retries int) (PushStats, error) {
 		st.Frames++
 		binary.LittleEndian.PutUint16(hdr[:], uint16(len(f)))
 		acked := false
-		for attempt := 0; attempt <= retries; attempt++ {
+		for attempt := 0; attempt <= cfg.Retries; attempt++ {
 			if attempt > 0 {
 				st.Retransmissions++
 			}
@@ -68,7 +112,13 @@ func push(conn io.ReadWriter, frames [][]byte, retries int) (PushStats, error) {
 			if _, err := conn.Write(f); err != nil {
 				return st, fmt.Errorf("station: push: %w", err)
 			}
+			if dc, ok := conn.(deadlineConn); ok && cfg.AckTimeout > 0 {
+				_ = dc.SetReadDeadline(time.Now().Add(cfg.AckTimeout))
+			}
 			if _, err := io.ReadFull(conn, status[:]); err != nil {
+				if isTimeout(err) {
+					return st, fmt.Errorf("%w after %v", ErrAckTimeout, cfg.AckTimeout)
+				}
 				return st, fmt.Errorf("station: push: %w", err)
 			}
 			if status[0] == AckByte {
@@ -83,4 +133,10 @@ func push(conn io.ReadWriter, frames [][]byte, retries int) (PushStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -228,6 +228,7 @@ type Server struct {
 type counters struct {
 	frames, corrupt, events, bytes        atomic.Uint64
 	dups, lost, recovered, discarded      atomic.Uint64
+	lostPartials                          atomic.Uint64
 	samples                               atomic.Uint64
 	tcpConns, tcpAcks, tcpNaks, udpFrames atomic.Uint64
 	snapshotsWritten, walRecordsRecovered atomic.Uint64
@@ -475,6 +476,7 @@ func (s *Server) finishCut(results []map[uint16]moteWindow) (*Snapshot, error) {
 		s.m.lost.Add(uint64(w.stats.PacketsLost))
 		s.m.recovered.Add(uint64(w.stats.InvocationsRecovered))
 		s.m.discarded.Add(uint64(w.stats.InvocationsDiscarded))
+		s.m.lostPartials.Add(uint64(w.stats.LostPartials))
 		for p, d := range w.durs {
 			merged[p] = append(merged[p], d...)
 		}
@@ -715,6 +717,9 @@ type Metrics struct {
 	PacketsLost          uint64 `json:"packets_lost"`
 	InvocationsRecovered uint64 `json:"invocations_recovered"`
 	InvocationsDiscarded uint64 `json:"invocations_discarded"`
+	// InvocationsLostPower counts invocations power-truncated on the mote
+	// itself (epoch/power markers), a subset of InvocationsDiscarded.
+	InvocationsLostPower uint64 `json:"invocations_lost_power"`
 	SamplesAbsorbed      uint64 `json:"samples_absorbed"`
 	TCPConns             uint64 `json:"tcp_conns"`
 	TCPAcks              uint64 `json:"tcp_acks"`
@@ -737,6 +742,7 @@ func (s *Server) Metrics() Metrics {
 		PacketsLost:          s.m.lost.Load(),
 		InvocationsRecovered: s.m.recovered.Load(),
 		InvocationsDiscarded: s.m.discarded.Load(),
+		InvocationsLostPower: s.m.lostPartials.Load(),
 		SamplesAbsorbed:      s.m.samples.Load(),
 		TCPConns:             s.m.tcpConns.Load(),
 		TCPAcks:              s.m.tcpAcks.Load(),

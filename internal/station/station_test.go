@@ -2,6 +2,8 @@ package station_test
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -487,5 +489,135 @@ func TestIngestRejects(t *testing.T) {
 	}
 	if got := s.Metrics().FramesRejected; got != 4 {
 		t.Fatalf("FramesRejected = %d, want 4", got)
+	}
+}
+
+// A station that accepts the TCP connection but never answers must not
+// hang the client: the push session aborts with ErrAckTimeout once the
+// configured ACK deadline expires.
+func TestPushAckTimeout(t *testing.T) {
+	uploads := simulateFleet(t, 1)
+	frames := uploads[0].Frames
+	if len(frames) == 0 {
+		t.Fatal("fleet produced no frames")
+	}
+
+	// A black hole: accept connections, drain bytes, never ACK.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+
+	start := time.Now()
+	_, err = station.PushFrames(l.Addr().String(), frames, station.PushConfig{
+		Retries:    2,
+		AckTimeout: 150 * time.Millisecond,
+	})
+	if !errors.Is(err, station.ErrAckTimeout) {
+		t.Fatalf("PushFrames error = %v, want ErrAckTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("push took %v; the deadline did not bound the wait", elapsed)
+	}
+}
+
+// UDP delivery drops and duplicates frames. The epoch snapshot must be a
+// pure function of the accepted frame multiset: a station fed a lossy,
+// duplicated stream over UDP publishes the same models as one fed the
+// surviving distinct frames exactly once, and the duplicates surface in
+// the metrics instead of double-feeding the reassemblers.
+func TestServeUDPDropDuplicate(t *testing.T) {
+	uploads := simulateFleet(t, 2)
+	var frames [][]byte
+	for _, up := range uploads {
+		frames = append(frames, up.Frames...)
+	}
+
+	// Deterministic channel: every 7th frame is dropped, every 5th of the
+	// survivors is delivered twice.
+	var distinct, delivered [][]byte
+	for i, f := range frames {
+		if i%7 == 3 {
+			continue // dropped in flight
+		}
+		distinct = append(distinct, f)
+		delivered = append(delivered, f)
+		if i%5 == 0 {
+			delivered = append(delivered, f) // duplicated in flight
+		}
+	}
+	if len(distinct) == len(frames) || len(delivered) == len(distinct) {
+		t.Fatalf("channel model degenerate: %d frames, %d distinct, %d delivered",
+			len(frames), len(distinct), len(delivered))
+	}
+
+	lossy := newStation(t, station.Config{Shards: 2})
+	defer lossy.Close()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go lossy.ServeUDP(pc)
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, f := range delivered {
+		if _, err := conn.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for lossy.Metrics().FramesAccepted < uint64(len(delivered)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d UDP frames accepted",
+				lossy.Metrics().FramesAccepted, len(delivered))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lossySnap, err := lossy.CutEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := newStation(t, station.Config{Shards: 2})
+	defer ref.Close()
+	for _, f := range distinct {
+		if err := ref.IngestFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnap, err := ref.CutEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(lossySnap, refSnap) {
+		a, _ := json.Marshal(lossySnap)
+		b, _ := json.Marshal(refSnap)
+		t.Fatalf("lossy UDP snapshot diverged from distinct-once reference:\n%s\n%s", a, b)
+	}
+	m := lossy.Metrics()
+	if m.PacketsDuplicate == 0 {
+		t.Fatal("duplicated frames were not counted as duplicate packets")
+	}
+	if m.PacketsLost == 0 {
+		t.Fatal("dropped frames were not counted as lost packets")
 	}
 }

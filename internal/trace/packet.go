@@ -196,6 +196,24 @@ type UplinkStats struct {
 	// InvocationsDiscarded counts invocations a lost packet truncated
 	// (an unmatched enter or exit, or a frame still open at a gap).
 	InvocationsRecovered, InvocationsDiscarded int
+	// LostPartials counts invocations truncated by a power event on the
+	// mote itself (an epoch or power marker between their enter and exit)
+	// rather than by channel loss: executions that began and never
+	// completed because the mote lost power mid-procedure. They are a
+	// subset of InvocationsDiscarded, broken out per procedure in
+	// LostPartialsByProc (nil when zero) because the estimator uses the
+	// counts to correct the survival bias of completed-invocation samples.
+	LostPartials       int
+	LostPartialsByProc map[int]int
+}
+
+// addLostPartial records one power-truncated invocation of proc.
+func (st *UplinkStats) addLostPartial(proc int) {
+	st.LostPartials++
+	if st.LostPartialsByProc == nil {
+		st.LostPartialsByProc = make(map[int]int)
+	}
+	st.LostPartialsByProc[proc]++
 }
 
 // Reassembler rebuilds one mote's event stream from sequence-numbered
@@ -299,7 +317,7 @@ func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
 	var out []Interval
 	var segment []mote.TraceEvent
 	flush := func() {
-		ivs, discarded := salvage(segment)
+		ivs, discarded := salvage(segment, &st)
 		out = append(out, ivs...)
 		st.InvocationsDiscarded += discarded
 		segment = segment[:0]
@@ -321,25 +339,50 @@ func (r *Reassembler) Recover() ([]Interval, UplinkStats) {
 // (their enters were lost) and frames still open at the end (their exits
 // were lost) are discarded and counted; everything properly paired inside
 // the run is complete — contiguity guarantees no callee is missing — and is
-// emitted. An epoch marker (mote.EpochMarkID, logged at a watchdog reset)
+// emitted. An epoch marker (mote.EpochMarkID, logged at a cold reboot)
 // flushes the open frames: their exits were lost to the crash, and
-// post-reboot events must never pair with pre-crash enters. Other corrupt
-// events (negative ids, time running backwards) discard the enclosing
-// frame rather than aborting the whole stream.
-func salvage(events []mote.TraceEvent) ([]Interval, int) {
+// post-reboot events must never pair with pre-crash enters; each flushed
+// frame is also a power-truncated lost partial. A power marker
+// (mote.PowerMarkID, logged at a checkpoint restore) dooms the frames
+// that straddle it: their enters are real and their exits will arrive —
+// the restored mote resumes inside them — but the span covers a dark
+// window and re-executed work, so the interval's timing is garbage. Doomed
+// frames are counted as lost partials at the marker and silently discarded
+// when their exits pair; frames opened after the marker are clean. Other
+// corrupt events (negative ids, time running backwards) discard the
+// enclosing frame rather than aborting the whole stream.
+func salvage(events []mote.TraceEvent, st *UplinkStats) ([]Interval, int) {
 	type frame struct {
 		proc       int
 		enter      uint64
 		childTicks uint64
+		doomed     bool
 	}
 	var stack []frame
 	var out []Interval
 	discarded := 0
 	for _, ev := range events {
 		if ev.ID == mote.EpochMarkID {
-			// Watchdog reset: every frame open at the crash is truncated.
+			// Cold boot: every frame open at the outage is truncated. Frames
+			// already doomed by a power marker were counted there.
+			for _, fr := range stack {
+				if !fr.doomed {
+					st.addLostPartial(fr.proc)
+				}
+			}
 			discarded += len(stack)
 			stack = stack[:0]
+			continue
+		}
+		if ev.ID == mote.PowerMarkID {
+			// Checkpoint restore: straddling frames survive structurally but
+			// their timing spans the outage — doom them.
+			for i := range stack {
+				if !stack[i].doomed {
+					stack[i].doomed = true
+					st.addLostPartial(stack[i].proc)
+				}
+			}
 			continue
 		}
 		if ev.ID < 0 {
@@ -373,6 +416,10 @@ func salvage(events []mote.TraceEvent) ([]Interval, int) {
 		discarded += len(stack) - 1 - match
 		top := stack[match]
 		stack = stack[:match]
+		if top.doomed {
+			discarded++ // straddled a power marker: timing spans the outage
+			continue
+		}
 		if ev.Tick < top.enter {
 			discarded++ // clock ran backwards: corrupt pair
 			continue

@@ -439,3 +439,131 @@ func TestSalvageEpochMarker(t *testing.T) {
 		t.Fatalf("discarded = %d, want 1 (the frame open at the crash)", st.InvocationsDiscarded)
 	}
 }
+
+// TestSalvagePowerMarker: a power marker (checkpoint restore) dooms the
+// invocations that straddle it — they are counted as lost partials per
+// procedure and their exits are discarded — while everything completed
+// before the marker or opened after it survives, including children of a
+// doomed frame.
+func TestSalvagePowerMarker(t *testing.T) {
+	events := []mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1},                           // main: open across the outage — doomed
+		{ID: EnterID(1), Tick: 2}, {ID: ExitID(1), Tick: 5}, // completes pre-outage
+		{ID: EnterID(1), Tick: 6}, // handler: open at the outage — doomed
+		{ID: mote.PowerMarkID, Tick: 100},
+		{ID: ExitID(1), Tick: 110},                              // doomed handler's exit: spans the outage
+		{ID: EnterID(1), Tick: 111}, {ID: ExitID(1), Tick: 115}, // clean post-restore child of doomed main
+		{ID: ExitID(0), Tick: 120}, // doomed main's exit
+	}
+	r := NewReassembler(3)
+	for _, p := range Packetize(3, events, 4) {
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivs, st := r.Recover()
+	if len(ivs) != 2 {
+		t.Fatalf("recovered %d intervals, want 2: %+v", len(ivs), ivs)
+	}
+	if ivs[0].EnterTick != 2 || ivs[1].EnterTick != 111 {
+		t.Fatalf("wrong survivors: %+v", ivs)
+	}
+	if st.LostPartials != 2 {
+		t.Fatalf("lost partials = %d, want 2 (main and the open handler)", st.LostPartials)
+	}
+	if st.LostPartialsByProc[0] != 1 || st.LostPartialsByProc[1] != 1 {
+		t.Fatalf("per-proc lost partials = %v", st.LostPartialsByProc)
+	}
+	if st.InvocationsDiscarded != 2 {
+		t.Fatalf("discarded = %d, want 2 (the doomed pair)", st.InvocationsDiscarded)
+	}
+}
+
+// TestSalvagePowerMarkerNoDoubleCount: a frame that stays open across
+// several restores is one lost partial, not one per marker; a cold boot
+// (epoch marker) after a restore must not re-count already-doomed frames,
+// and its own truncations are lost partials too.
+func TestSalvagePowerMarkerNoDoubleCount(t *testing.T) {
+	events := []mote.TraceEvent{
+		{ID: EnterID(2), Tick: 1},
+		{ID: mote.PowerMarkID, Tick: 10},
+		{ID: mote.PowerMarkID, Tick: 20}, // second outage, same open frame
+		{ID: EnterID(3), Tick: 25},       // opened after the restores
+		{ID: mote.EpochMarkID, Tick: 30}, // cold boot truncates both
+		{ID: EnterID(2), Tick: 40}, {ID: ExitID(2), Tick: 44},
+	}
+	r := NewReassembler(4)
+	for _, p := range Packetize(4, events, 0) {
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivs, st := r.Recover()
+	if len(ivs) != 1 || ivs[0].EnterTick != 40 {
+		t.Fatalf("survivors = %+v, want the post-reboot pair", ivs)
+	}
+	// Proc 2's frame: doomed once at the first marker. Proc 3's frame:
+	// truncated by the cold boot. The second power marker adds nothing.
+	if st.LostPartials != 2 {
+		t.Fatalf("lost partials = %d, want 2", st.LostPartials)
+	}
+	if st.LostPartialsByProc[2] != 1 || st.LostPartialsByProc[3] != 1 {
+		t.Fatalf("per-proc lost partials = %v", st.LostPartialsByProc)
+	}
+	if st.InvocationsDiscarded != 2 {
+		t.Fatalf("discarded = %d, want 2", st.InvocationsDiscarded)
+	}
+}
+
+// TestSalvageEpochMarkerCountsLostPartials: frames truncated by a cold
+// boot are power-truncated executions — the survival-bias correction needs
+// them counted per procedure just like restore-doomed frames.
+func TestSalvageEpochMarkerCountsLostPartials(t *testing.T) {
+	events := []mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1},
+		{ID: EnterID(1), Tick: 3},
+		{ID: mote.EpochMarkID, Tick: 9},
+		{ID: EnterID(0), Tick: 10}, {ID: ExitID(0), Tick: 12},
+	}
+	r := NewReassembler(5)
+	for _, p := range Packetize(5, events, 0) {
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivs, st := r.Recover()
+	if len(ivs) != 1 {
+		t.Fatalf("recovered %d intervals, want 1", len(ivs))
+	}
+	if st.LostPartials != 2 || st.LostPartialsByProc[0] != 1 || st.LostPartialsByProc[1] != 1 {
+		t.Fatalf("lost partials = %d %v, want one each for procs 0 and 1", st.LostPartials, st.LostPartialsByProc)
+	}
+}
+
+// TestSalvageGapIsNotLostPartial: channel loss truncates invocations too,
+// but those are not power events — they must stay out of LostPartials or
+// the survival-bias correction would conflate radio loss with mote death.
+func TestSalvageGapIsNotLostPartial(t *testing.T) {
+	events := []mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1}, {ID: ExitID(0), Tick: 5},
+		{ID: EnterID(0), Tick: 6}, {ID: ExitID(0), Tick: 9},
+		{ID: EnterID(0), Tick: 10}, {ID: ExitID(0), Tick: 14},
+	}
+	pkts := Packetize(6, events, 3)
+	r := NewReassembler(6)
+	if err := r.Add(pkts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// pkts[1] lost: invocation 2 is split across the gap, invocation 3's
+	// exit is in the lost packet.
+	ivs, st := r.Recover()
+	if len(ivs) != 1 {
+		t.Fatalf("recovered %d intervals, want 1", len(ivs))
+	}
+	if st.InvocationsDiscarded == 0 {
+		t.Fatal("gap should discard the split invocations")
+	}
+	if st.LostPartials != 0 || st.LostPartialsByProc != nil {
+		t.Fatalf("channel loss counted as lost partials: %d %v", st.LostPartials, st.LostPartialsByProc)
+	}
+}

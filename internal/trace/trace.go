@@ -55,19 +55,30 @@ func (iv Interval) ExclusiveTicks() uint64 {
 // be properly nested (the instrumentation guarantees this); unbalanced logs
 // return ErrMalformed. An epoch marker (mote.EpochMarkID, logged at a
 // fault-injected reboot) flushes the frames open at the crash — their
-// exits never happened — and well-nested execution resumes after it.
-// Intervals are returned in completion order.
+// exits never happened — and well-nested execution resumes after it. A
+// power marker (mote.PowerMarkID, logged at a checkpoint restore) dooms
+// the frames open across it: the restored mote resumes inside them and
+// their exits do arrive, but the span covers the outage, so their
+// intervals are suppressed while everything nested after the marker is
+// kept. Intervals are returned in completion order.
 func Extract(events []mote.TraceEvent) ([]Interval, error) {
 	type frame struct {
 		proc       int
 		enter      uint64
 		childTicks uint64
+		doomed     bool
 	}
 	var stack []frame
 	var out []Interval
 	for i, ev := range events {
 		if ev.ID == mote.EpochMarkID {
 			stack = stack[:0]
+			continue
+		}
+		if ev.ID == mote.PowerMarkID {
+			for j := range stack {
+				stack[j].doomed = true
+			}
 			continue
 		}
 		if ev.ID < 0 {
@@ -85,6 +96,9 @@ func Extract(events []mote.TraceEvent) ([]Interval, error) {
 		stack = stack[:len(stack)-1]
 		if top.proc != proc {
 			return nil, fmt.Errorf("%w: exit for proc %d while proc %d is open at event %d", ErrMalformed, proc, top.proc, i)
+		}
+		if top.doomed {
+			continue // timing spans a power outage: not a duration sample
 		}
 		iv := Interval{
 			ProcIndex:  proc,

@@ -125,3 +125,33 @@ func TestDurationsCycles(t *testing.T) {
 		t.Fatalf("cycles = %v", got)
 	}
 }
+
+// TestExtractPowerMarker: Extract tolerates power markers — frames open
+// across a checkpoint restore are structurally balanced (their exits
+// arrive after re-execution) but their intervals span the outage, so they
+// are suppressed; invocations nested after the marker are kept.
+func TestExtractPowerMarker(t *testing.T) {
+	ivs, err := Extract([]mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1},
+		{ID: EnterID(1), Tick: 2},
+		{ID: mote.PowerMarkID, Tick: 50},
+		{ID: ExitID(1), Tick: 60},                             // doomed
+		{ID: EnterID(1), Tick: 61}, {ID: ExitID(1), Tick: 65}, // clean
+		{ID: ExitID(0), Tick: 70}, // doomed
+	})
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(ivs) != 1 || ivs[0].EnterTick != 61 || ivs[0].ExitTick != 65 {
+		t.Fatalf("intervals = %+v, want only the post-restore invocation", ivs)
+	}
+	// A doomed frame still participates in nesting checks: a mismatched
+	// exit remains malformed.
+	if _, err := Extract([]mote.TraceEvent{
+		{ID: EnterID(0), Tick: 1},
+		{ID: mote.PowerMarkID, Tick: 5},
+		{ID: ExitID(1), Tick: 9},
+	}); err == nil {
+		t.Fatal("mismatched exit after power marker accepted")
+	}
+}

@@ -2,6 +2,7 @@ package codetomo
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -57,6 +58,16 @@ type FleetConfig struct {
 	// zero value is a healthy deployment. Faults.Seed derives from Seed
 	// when left 0.
 	Faults fault.Config
+	// Energy powers every mote from an energy-harvesting capacitor
+	// (fault.EnergyConfig): power cuts wherever the program's own draw
+	// empties the charge, completed invocations become a survival-biased
+	// sample, and the estimator corrects the bias from the lost-partial
+	// counts. The zero value is a mains-powered deployment. Energy.Seed
+	// derives from Seed when left 0.
+	Energy fault.EnergyConfig
+	// Checkpoint is the checkpoint/restore policy motes run under Energy
+	// (zero = cold boot on every outage; ignored on mains power).
+	Checkpoint mote.CheckpointPolicy
 	// Robust replaces plain EM with the outlier-trimmed robust estimator
 	// and gates placement on per-procedure confidence: low-confidence
 	// procedures keep the baseline layout instead of being optimized on
@@ -108,6 +119,15 @@ func (c FleetConfig) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if c.Checkpoint.EveryKInvocations < 0 {
+		return fmt.Errorf("codetomo: Checkpoint.EveryKInvocations = %d; must be >= 0", c.Checkpoint.EveryKInvocations)
+	}
+	if c.Checkpoint.OnLowChargeFrac < 0 || c.Checkpoint.OnLowChargeFrac >= 1 {
+		return fmt.Errorf("codetomo: Checkpoint.OnLowChargeFrac = %v; must be a fraction in [0, 1)", c.Checkpoint.OnLowChargeFrac)
+	}
 	if c.TrimWidth < 0 {
 		return fmt.Errorf("codetomo: TrimWidth = %v; must be >= 0 (zero selects the default of 4x the EM kernel)", c.TrimWidth)
 	}
@@ -149,6 +169,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.Faults.Enabled() && c.Faults.Seed == 0 {
 		c.Faults.Seed = c.Seed + fleetFaultSeed
 	}
+	if c.Energy.Enabled() && c.Energy.Seed == 0 {
+		c.Energy.Seed = c.Seed + fleetEnergySeed
+	}
 	if c.Motes == 0 {
 		c.Motes = 4
 	}
@@ -186,6 +209,37 @@ type FleetResult struct {
 	Output []uint16
 	// Fleet is the deployment's observability record.
 	Fleet fleet.Stats
+	// Intermittence summarizes execution under harvested power; nil on a
+	// mains-powered fleet.
+	Intermittence *IntermittenceStats
+}
+
+// IntermittenceStats is the fleet-level view of execution under harvested
+// power: how often invocations died mid-procedure, the power-failure
+// hazard that implies, and the deployment's energy efficiency under the
+// measured and the optimized layout.
+type IntermittenceStats struct {
+	// Completed counts invocations whose durations reached the estimator;
+	// LostPartials counts invocations power-truncated mid-procedure.
+	Completed, LostPartials int
+	// CompletionRate is Completed / (Completed + LostPartials).
+	CompletionRate float64
+	// HazardPerCycle is the fleet-level power-failure hazard λ̂ implied by
+	// the completion rate at the mean completed duration:
+	// λ̂ = −ln(rate)/mean.
+	HazardPerCycle float64
+	// MeanDurationCycles is the mean completed invocation duration the
+	// hazard was solved at.
+	MeanDurationCycles float64
+	// HarvestedUJ is the fleet's total banked harvest.
+	HarvestedUJ float64
+	// CompletedPerJoule is Completed divided by the harvested energy in
+	// joules — the paper-level figure of merit for a layout under
+	// intermittent power. PredictedCompletedPerJoule extrapolates it to
+	// the optimized layout: a speedup s shortens invocations to T/s, so
+	// each costs s× less energy and survives e^{λT(1−1/s)}× more often.
+	CompletedPerJoule          float64
+	PredictedCompletedPerJoule float64
 }
 
 // MispredictReduction mirrors Result.MispredictReduction.
@@ -213,6 +267,7 @@ const (
 	fleetOffsetSeed     = 7253   // clock skew RNG
 	fleetLinkSeed       = 104659 // radio channel RNG base
 	fleetFaultSeed      = 94907  // fault-injection RNG base
+	fleetEnergySeed     = 86243  // harvest-process RNG base
 )
 
 // fleetSpecs derives the deployment's mote specs from the config: workload
@@ -254,7 +309,9 @@ func simConfig(cfg FleetConfig, prog []isa.Instr) fleet.SimConfig {
 			ARQ:             fleet.ARQConfig{MaxRetries: cfg.ARQRetries, BackoffBaseTicks: cfg.ARQBackoffTicks},
 			Seed:            cfg.Seed + fleetLinkSeed,
 		},
-		Faults: cfg.Faults,
+		Faults:     cfg.Faults,
+		Energy:     cfg.Energy,
+		Checkpoint: cfg.Checkpoint,
 	}
 }
 
@@ -365,6 +422,8 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	// and batch the per-procedure samples into uplink rounds.
 	t1 := time.Now()
 	perMote := make([]map[int][]float64, len(uploads))
+	lostByProc := make(map[int]int)
+	var sumGrossTicks float64
 	for i, up := range uploads {
 		ust := up.Uplink
 		fst.Link.Add(up.Link)
@@ -377,7 +436,20 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		fst.Uplink.EventsDelivered += ust.EventsDelivered
 		fst.Uplink.InvocationsRecovered += ust.InvocationsRecovered
 		fst.Uplink.InvocationsDiscarded += ust.InvocationsDiscarded
+		fst.Uplink.LostPartials += ust.LostPartials
+		for p, n := range ust.LostPartialsByProc {
+			lostByProc[p] += n
+		}
 		fst.EventsLogged += up.EventsLogged
+		fst.EnergyUJ += fleet.MoteEnergyUJ(up.Stats)
+		fst.HarvestedUJ += up.Stats.HarvestedUJ
+		fst.PowerFailures += up.Stats.PowerFailures
+		fst.Checkpoints += up.Stats.Checkpoints
+		fst.Restores += up.Stats.Restores
+		fst.LostVolatileEvents += up.Stats.LostVolatileEvents
+		for _, iv := range up.Intervals {
+			sumGrossTicks += float64(iv.GrossTicks())
+		}
 		fst.PerMote = append(fst.PerMote, fleet.MoteUplink{
 			ID:              up.Spec.ID,
 			Resets:          up.Stats.Resets,
@@ -386,6 +458,9 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 			Corrupted:       ust.PacketsCorrupted,
 			Retransmissions: up.ARQ.Retransmissions,
 			Recovered:       up.ARQ.Recovered,
+			EnergyUJ:        fleet.MoteEnergyUJ(up.Stats),
+			PowerFailures:   up.Stats.PowerFailures,
+			Restores:        up.Stats.Restores,
 		})
 		perMote[i] = up.Durations
 	}
@@ -398,6 +473,7 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	type pending struct {
 		pe        ProcEstimate
 		streamIdx int // -1: fallback, no stream
+		procIndex int
 		model     *tomography.Model
 		oracle    markov.EdgeProbs
 	}
@@ -418,7 +494,11 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 			all = append(all, b...)
 		}
 		fst.SamplesPerProc[p.Name] = total
-		pd := pending{pe: ProcEstimate{Proc: p.Name, SampleCount: total}, streamIdx: -1}
+		pd := pending{
+			pe:        ProcEstimate{Proc: p.Name, SampleCount: total, LostPartials: lostByProc[pm.Index]},
+			streamIdx: -1,
+			procIndex: pm.Index,
+		}
 		if total >= cfg.MinSamples {
 			bm := models[i]
 			if bm.err != nil {
@@ -458,6 +538,13 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		if o.Converged {
 			fst.ConvergedProcs++
 		}
+		if cfg.Energy.Enabled() && pd.pe.LostPartials > 0 && pd.pe.SampleCount > 0 {
+			// Completed invocations under harvested power are a biased
+			// sample — long paths died more often. The lost-partial counts
+			// pin the hazard; tilt the estimate back before it is scored
+			// or drives placement.
+			o.Probs = pd.model.DebiasTruncation(o.Probs, pd.pe.LostPartials, pd.pe.SampleCount)
+		}
 		pd.pe.Branches, pd.pe.MAE = branchEstimates(pd.model, o.Probs, pd.oracle, cfg.TickDiv)
 		pd.pe.TrimmedSamples = o.Trimmed
 		if cfg.Robust && !o.Confident {
@@ -479,5 +566,42 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 	res.Fleet = fst
+	if cfg.Energy.Enabled() {
+		res.Intermittence = intermittence(fst, sumGrossTicks, cfg.TickDiv, res.Speedup())
+	}
 	return res, nil
+}
+
+// intermittence derives the fleet-level intermittent-execution summary
+// from the merged counters: the completion rate, the hazard it implies at
+// the mean completed duration, and completed-invocations-per-harvested-
+// joule under the measured layout and extrapolated to the optimized one.
+func intermittence(fst fleet.Stats, sumGrossTicks float64, tickDiv int, speedup float64) *IntermittenceStats {
+	it := &IntermittenceStats{
+		Completed:    fst.Uplink.InvocationsRecovered,
+		LostPartials: fst.Uplink.LostPartials,
+		HarvestedUJ:  fst.HarvestedUJ,
+	}
+	total := it.Completed + it.LostPartials
+	if total > 0 {
+		it.CompletionRate = float64(it.Completed) / float64(total)
+	}
+	if it.Completed > 0 {
+		it.MeanDurationCycles = sumGrossTicks * float64(tickDiv) / float64(it.Completed)
+	}
+	if it.CompletionRate > 0 && it.CompletionRate < 1 && it.MeanDurationCycles > 0 {
+		it.HazardPerCycle = -math.Log(it.CompletionRate) / it.MeanDurationCycles
+	}
+	if it.HarvestedUJ > 0 {
+		it.CompletedPerJoule = float64(it.Completed) / (it.HarvestedUJ * 1e-6)
+		it.PredictedCompletedPerJoule = it.CompletedPerJoule
+		if speedup > 0 {
+			// A speedup s shortens each invocation to T/s: s× cheaper in
+			// energy, and e^{λT(1−1/s)}× likelier to outrun the next
+			// outage.
+			it.PredictedCompletedPerJoule = it.CompletedPerJoule * speedup *
+				math.Exp(it.HazardPerCycle*it.MeanDurationCycles*(1-1/speedup))
+		}
+	}
+	return it
 }

@@ -327,3 +327,126 @@ func TestFleetConfigValidate(t *testing.T) {
 		t.Error("RunFleet accepted invalid config")
 	}
 }
+
+// intermittentConfig is an energy-harvesting deployment whose mean
+// harvest (0.8 µJ/kcycle) is well below the CPU draw (~1.35 µJ/kcycle),
+// forcing a duty cycle on a small capacitor: every mote dies and resumes
+// many times per campaign.
+func intermittentConfig() FleetConfig {
+	cfg := fleetConfig()
+	cfg.DropProb, cfg.DupProb, cfg.ReorderProb = 0, 0, 0
+	cfg.Energy = fault.EnergyConfig{
+		HarvestUJPerKCycle: 0.8,
+		HarvestNoiseSigma:  0.4,
+		CapacityUJ:         60,
+		BrownoutFloorUJ:    2,
+		RestartChargeUJ:    40,
+	}
+	// The low-charge trigger checkpoints just before the brownout — often
+	// mid-invocation — so the torn execution's enter is durable and the
+	// base station sees it as a lost partial rather than losing it with
+	// the volatile tail.
+	cfg.Checkpoint = mote.CheckpointPolicy{EveryKInvocations: 4, OnLowChargeFrac: 0.25}
+	return cfg
+}
+
+// TestRunFleetIntermittent is the tentpole end-to-end: motes on harvested
+// power die mid-procedure, checkpoints resume them, the base station
+// counts the torn executions as lost partials, and the pipeline reports
+// completion rate, hazard, and completed-invocations-per-harvested-joule.
+func TestRunFleetIntermittent(t *testing.T) {
+	src := sourceFor(t, "sense", 400)
+	res, err := RunFleet(src, intermittentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Fleet
+	if st.PowerFailures == 0 || st.Checkpoints == 0 || st.Restores == 0 {
+		t.Fatalf("no intermittence: %+v", st)
+	}
+	if st.HarvestedUJ <= 0 || st.EnergyUJ <= 0 {
+		t.Fatalf("energy accounting missing: harvested %v consumed %v", st.HarvestedUJ, st.EnergyUJ)
+	}
+	if st.Uplink.LostPartials == 0 {
+		t.Fatal("outages mid-procedure must surface as lost partials")
+	}
+	for _, m := range st.PerMote {
+		if m.EnergyUJ <= 0 {
+			t.Fatalf("mote %d has no energy accounting", m.ID)
+		}
+	}
+	it := res.Intermittence
+	if it == nil {
+		t.Fatal("intermittence summary missing on an energy-enabled fleet")
+	}
+	if it.LostPartials != st.Uplink.LostPartials || it.Completed != st.Uplink.InvocationsRecovered {
+		t.Fatalf("intermittence counts diverge from uplink: %+v vs %+v", it, st.Uplink)
+	}
+	if it.CompletionRate <= 0 || it.CompletionRate >= 1 {
+		t.Fatalf("completion rate = %v, want in (0,1)", it.CompletionRate)
+	}
+	if it.HazardPerCycle <= 0 {
+		t.Fatalf("hazard = %v, want > 0", it.HazardPerCycle)
+	}
+	if it.CompletedPerJoule <= 0 || it.PredictedCompletedPerJoule <= 0 {
+		t.Fatalf("per-joule figures missing: %+v", it)
+	}
+	// The estimate must still work: lost partials reduce, not destroy,
+	// accuracy.
+	for _, pe := range res.Estimates {
+		if pe.Proc == "sample" {
+			if pe.Fallback {
+				t.Fatal("handler fell back under intermittent power")
+			}
+			if pe.LostPartials == 0 {
+				t.Fatal("handler saw no lost partials")
+			}
+			if pe.MAE > 0.2 {
+				t.Fatalf("handler MAE = %v under intermittent power", pe.MAE)
+			}
+		}
+	}
+}
+
+// TestRunFleetDeterministicUnderPower: the determinism contract survives
+// the whole intermittent stack — harvest noise, brownouts, checkpoints,
+// restores, survival-bias correction — across worker counts and
+// GOMAXPROCS.
+func TestRunFleetDeterministicUnderPower(t *testing.T) {
+	src := sourceFor(t, "sense", 300)
+
+	type snapshot struct {
+		estimates     []ProcEstimate
+		uplink        interface{}
+		perMote       []fleet.MoteUplink
+		intermittence IntermittenceStats
+		output        []uint16
+	}
+	take := func(workers, maxprocs int) snapshot {
+		prev := runtime.GOMAXPROCS(maxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := intermittentConfig()
+		cfg.Workers = workers
+		cfg.Robust = true
+		res, err := RunFleet(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{
+			estimates:     res.Estimates,
+			uplink:        res.Fleet.Uplink,
+			perMote:       res.Fleet.PerMote,
+			intermittence: *res.Intermittence,
+			output:        res.Output,
+		}
+	}
+
+	ref := take(1, 1)
+	for _, tc := range []struct{ workers, maxprocs int }{{4, 1}, {4, 4}} {
+		got := take(tc.workers, tc.maxprocs)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d GOMAXPROCS=%d diverged from reference:\n%+v\nvs\n%+v",
+				tc.workers, tc.maxprocs, got, ref)
+		}
+	}
+}

@@ -38,6 +38,12 @@ echo "== fuzz smoke (static bounds)"
 # static WCET/stack bounds, with and without dead-branch elimination.
 go test ./internal/compile -run=NONE -fuzz=FuzzStaticBounds -fuzztime=5s
 
+echo "== fuzz smoke (checkpoint codec)"
+# Random bytes at the checkpoint decoder: corrupt or truncated images must
+# be rejected cleanly, and every accepted image must re-encode to an
+# equivalent checkpoint.
+go test ./internal/mote -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=5s
+
 echo "== staticcheck"
 # Pinned in CI images that carry it; skipped offline (no network installs).
 if command -v staticcheck >/dev/null 2>&1; then
@@ -46,10 +52,10 @@ else
 	echo "staticcheck not installed; skipping"
 fi
 
-echo "== bench smoke (estimation kernel, interpreter cores, station)"
+echo "== bench smoke (estimation kernel, interpreter cores, station, energy)"
 # One iteration of every benchmark: keeps the bench code compiling and
 # running without paying for stable timings.
-go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station -run='^$' -bench=. -benchtime=1x
+go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station ./internal/fault -run='^$' -bench=. -benchtime=1x
 
 echo "== station smoke (daemon boot, loopback push, HTTP, clean shutdown)"
 # Boots ctstationd in-process on ephemeral loopback ports, pushes one
