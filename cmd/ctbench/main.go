@@ -29,10 +29,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,ft1,ft2,k1,s1,sa1,st1,in1) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (t1,f2,f3,f4,f5,t2,f6,f7,f8,t3,a1,a2,a3,a4,fl1,fl2,fl3,ft1,ft2,k1,s1,sa1,st1,in1) or 'all'")
 	samples := flag.Int("samples", 0, "handler invocations per profiling run (default from bench.DefaultConfig)")
 	seed := flag.Int64("seed", 0, "workload seed (default from bench.DefaultConfig)")
 	tick := flag.Int("tick", 0, "timer prescaler (default from bench.DefaultConfig)")
+	fleetmax := flag.Int("fleetmax", 0, "largest deployment the fl3 scaling sweep runs (default 1000000; CI smokes lower it)")
 	predictor := flag.String("predictor", "", "nt or btfn (default nt)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of result tables (machine-readable)")
@@ -74,6 +75,9 @@ func main() {
 	}
 	if *tick > 0 {
 		cfg.TickDiv = *tick
+	}
+	if *fleetmax > 0 {
+		cfg.MaxFleet = *fleetmax
 	}
 	switch *predictor {
 	case "":

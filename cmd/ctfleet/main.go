@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perPacket := fs.Int("packet", 0, "trace events per radio packet (0 = default 32)")
 	batches := fs.Int("batches", 0, "uplink rounds for incremental estimation (0 = default 8)")
 	workers := fs.Int("workers", 0, "concurrent mote simulations (0 = default 4; affects wall time only)")
+	cohort := fs.Int("cohort", 0, "motes per worker task in the streaming scheduler (0 = default 64; affects wall time and memory only)")
 	pushAddr := fs.String("push", "", "push the fleet's frames to a ctstationd TCP ingest at this address instead of estimating locally")
 	pushRetries := fs.Int("pushretries", 3, "stop-and-wait retransmissions per NAKed frame in -push mode")
 	pushTimeout := fs.Duration("pushtimeout", station.DefaultAckTimeout, "per-frame ACK deadline in -push mode (a station that accepts but never answers aborts the session)")
@@ -132,6 +133,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *motes < 1 {
 		return usage("invalid -motes: %d", *motes)
 	}
+	if *cohort < 0 {
+		return usage("invalid -cohort: %d", *cohort)
+	}
 	if *pushRetries < 0 {
 		return usage("invalid -pushretries: %d", *pushRetries)
 	}
@@ -161,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Config:          codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick, MaxCycles: *maxcycles},
 		Motes:           *motes,
 		Workers:         *workers,
+		Cohort:          *cohort,
 		EventsPerPacket: *perPacket,
 		DropProb:        *drop,
 		DupProb:         *dup,
@@ -204,15 +209,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *pushAddr != "" {
-		// Client mode: simulate the deployment, then upload the frames to a
-		// running base station over its ARQ'd TCP ingest — the station does
-		// the estimating.
-		uploads, err := codetomo.FleetUploads(string(src), cfg)
+		// Client mode: stream the deployment to a running base station over
+		// its ARQ'd TCP ingest — each cohort's frames go out the moment
+		// they are simulated, so the fleet is never materialized client-side
+		// and the station does the estimating.
+		sess, err := station.DialPush(*pushAddr, station.PushConfig{Retries: *pushRetries, AckTimeout: *pushTimeout})
 		if err != nil {
 			fmt.Fprintln(stderr, "ctfleet:", err)
 			return 1
 		}
-		st, err := station.PushUploads(*pushAddr, uploads, station.PushConfig{Retries: *pushRetries, AckTimeout: *pushTimeout})
+		defer sess.Close()
+		pushed := 0
+		err = codetomo.FleetFrames(string(src), cfg, func(frames [][]byte) error {
+			pushed++
+			return sess.Send(frames)
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "ctfleet:", err)
 			if errors.Is(err, station.ErrAckTimeout) {
@@ -220,8 +231,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return 1
 		}
+		st := sess.Stats()
 		fmt.Fprintf(stdout, "pushed %d motes to %s: %d frames, %d acked, %d retransmitted, %d failed\n",
-			len(uploads), *pushAddr, st.Frames, st.Acked, st.Retransmissions, st.Failed)
+			pushed, *pushAddr, st.Frames, st.Acked, st.Retransmissions, st.Failed)
 		if st.Failed > 0 {
 			return 1
 		}

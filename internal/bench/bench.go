@@ -33,6 +33,10 @@ type Config struct {
 	Enum markov.EnumerateOptions
 	// MaxCycles bounds each simulated run.
 	MaxCycles uint64
+	// MaxFleet caps the largest deployment the fl3 scaling sweep runs;
+	// CI smokes lower it so the sweep stays seconds, the committed numbers
+	// use the default million.
+	MaxFleet int
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md
@@ -45,6 +49,7 @@ func DefaultConfig() Config {
 		Predictor: mote.StaticNotTaken{},
 		Enum:      markov.EnumerateOptions{MaxVisits: 12, MaxPaths: 30000},
 		MaxCycles: 2_000_000_000,
+		MaxFleet:  1_000_000,
 	}
 }
 

@@ -33,8 +33,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("experiments = %d, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("experiments = %d, want 24", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

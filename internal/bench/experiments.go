@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"sa1", "Static 1: value-range pinning and dead-branch elimination", StaticAnalysisBench},
 		{"st1", "Station 1: base-station ingest throughput vs shards and fleet size", StationIngestSweep},
 		{"in1", "Intermittent 1: completion and estimation under harvested power", IntermittentSweep},
+		{"fl3", "Fleet 3: simulation density and scaling (motes/sec/core)", FleetScaleSweep},
 	}
 }
 

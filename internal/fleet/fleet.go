@@ -65,6 +65,15 @@ type SimConfig struct {
 	// Checkpoint is the checkpoint/restore policy motes run under Energy
 	// (ignored otherwise). The zero value cold-boots on every outage.
 	Checkpoint mote.CheckpointPolicy
+	// Cohort is the streaming scheduler's batch size: motes per pooled
+	// task in SimulateStreamOn (0 = DefaultCohortSize). Like Workers it
+	// moves wall time and peak memory only, never results.
+	Cohort int
+	// KeepFrames retains each mote's delivered frames on its MoteResult in
+	// the streaming pipeline (for forwarding to a real base station over
+	// the wire); by default frames are dropped the moment they are
+	// reassembled — the point of streaming.
+	KeepFrames bool
 }
 
 // MoteUpload is what the base station holds for one mote after its upload:
@@ -168,13 +177,13 @@ func SimulateReassembledOn(pool *Pool, cfg SimConfig, specs []MoteSpec) ([]Proce
 	return out, nil
 }
 
-// runMote simulates one mote and pushes its trace through the link. It is
-// a pure function of (cfg, spec) — the determinism of the whole fleet
-// rests on that.
-func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
+// moteConfig derives one mote's machine configuration from its spec: the
+// base machine shape plus the spec's sensor/entropy streams, clock skew,
+// and the fault/energy environment keyed by the mote identity.
+func moteConfig(cfg SimConfig, spec MoteSpec) (mote.Config, error) {
 	sensor, ok := workload.Named(spec.Workload, stats.NewRNG(spec.Seed))
 	if !ok {
-		return MoteUpload{}, fmt.Errorf("unknown workload %q", spec.Workload)
+		return mote.Config{}, fmt.Errorf("unknown workload %q", spec.Workload)
 	}
 	mc := cfg.Mote
 	mc.Sensor = sensor
@@ -187,7 +196,13 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 	if cfg.Energy.Enabled() {
 		mc.Power = cfg.Energy.Power(int64(spec.ID), cfg.Checkpoint)
 	}
-	m := mote.New(cfg.Prog, mc)
+	return mc, nil
+}
+
+// runMachine executes one mote's measurement campaign on an already
+// configured machine, tolerating the stops a hostile environment is
+// expected to produce.
+func runMachine(m *mote.Machine, cfg SimConfig) error {
 	if err := m.Run(cfg.MaxCycles); err != nil {
 		// Under fault injection or harvested power a mote that never
 		// finishes its campaign — crash-looping past the cycle budget,
@@ -199,10 +214,15 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 		expected := (cfg.Faults.Enabled() || cfg.Energy.Enabled()) &&
 			(errors.Is(err, mote.ErrCycleBudget) || errors.Is(err, mote.ErrTraceOverflow))
 		if !expected {
-			return MoteUpload{}, err
+			return err
 		}
 	}
+	return nil
+}
 
+// uplinkMote packetizes a finished machine's trace and pushes the frames
+// through the radio channel, returning the link's deliveries.
+func uplinkMote(m *mote.Machine, cfg SimConfig, spec MoteSpec) (delivered [][]byte, ls LinkStats, ast ARQStats, eventsLogged int, err error) {
 	events := m.Trace()
 	pkts := trace.Packetize(spec.ID, events, cfg.Link.EventsPerPacket)
 	if cfg.Link.PacketVersion == trace.PacketVersionLegacy {
@@ -214,19 +234,38 @@ func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
 	for i := range pkts {
 		b, err := pkts[i].MarshalBinary()
 		if err != nil {
-			return MoteUpload{}, err
+			return nil, LinkStats{}, ARQStats{}, 0, err
 		}
 		frames[i] = b
 	}
 	// The channel RNG derives from the link seed and the mote identity so
 	// each mote sees an independent but reproducible channel.
-	delivered, ls, ast := cfg.Link.TransmitARQ(frames, stats.NewRNG(cfg.Link.Seed+int64(spec.ID)*6151+1))
+	delivered, ls, ast = cfg.Link.TransmitARQ(frames, stats.NewRNG(cfg.Link.Seed+int64(spec.ID)*6151+1))
+	return delivered, ls, ast, len(events), nil
+}
+
+// runMote simulates one mote and pushes its trace through the link. It is
+// a pure function of (cfg, spec) — the determinism of the whole fleet
+// rests on that.
+func runMote(cfg SimConfig, spec MoteSpec) (MoteUpload, error) {
+	mc, err := moteConfig(cfg, spec)
+	if err != nil {
+		return MoteUpload{}, err
+	}
+	m := mote.New(cfg.Prog, mc)
+	if err := runMachine(m, cfg); err != nil {
+		return MoteUpload{}, err
+	}
+	delivered, ls, ast, events, err := uplinkMote(m, cfg, spec)
+	if err != nil {
+		return MoteUpload{}, err
+	}
 	return MoteUpload{
 		Spec:         spec,
 		Frames:       delivered,
 		Link:         ls,
 		ARQ:          ast,
-		EventsLogged: len(events),
+		EventsLogged: events,
 		BranchStats:  m.BranchStats(),
 		Stats:        m.Stats(),
 	}, nil

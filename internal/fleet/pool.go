@@ -8,8 +8,19 @@ import "sync"
 // at once no matter how stages overlap. Tasks must be pure functions of
 // their inputs writing to caller-owned slots; the pool bounds concurrency
 // only and never influences results.
+//
+// Submission is cheap at any fan-out: Go enqueues the task and at most
+// `workers` long-lived drain goroutines pull from the queue, so submitting
+// a million tasks costs a million queue slots, not a million goroutines
+// (the pre-PR-9 behaviour). Queue slots are released as tasks are picked
+// up and the backing array is recycled whenever the queue drains.
 type Pool struct {
 	sem chan struct{}
+
+	mu      sync.Mutex
+	queue   []func()
+	head    int // queue[:head] already dispatched
+	running int // drain goroutines alive
 }
 
 // NewPool builds a pool running at most workers tasks concurrently
@@ -21,6 +32,9 @@ func NewPool(workers int) *Pool {
 	return &Pool{sem: make(chan struct{}, workers)}
 }
 
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
 // Do runs f under the pool's concurrency bound, blocking until a slot
 // frees up. Callers fan out with their own goroutines and WaitGroups; Do
 // is the choke point they all share.
@@ -30,13 +44,52 @@ func (p *Pool) Do(f func()) {
 	f()
 }
 
-// Go runs f on a new goroutine under the pool's concurrency bound,
-// registered on wg. The goroutine is spawned immediately (submission never
-// blocks) but f itself waits for a pool slot.
+// Go runs f under the pool's concurrency bound, registered on wg.
+// Submission never blocks: the task is queued, and a bounded set of drain
+// goroutines (at most the pool's worker count, spawned lazily and exiting
+// when the queue empties) executes queued tasks in submission order. The
+// drain workers acquire the same semaphore as Do, so mixed Do/Go callers
+// still share one global bound.
 func (p *Pool) Go(wg *sync.WaitGroup, f func()) {
 	wg.Add(1)
-	go func() {
+	p.mu.Lock()
+	p.queue = append(p.queue, func() {
 		defer wg.Done()
 		p.Do(f)
-	}()
+	})
+	spawn := p.running < cap(p.sem)
+	if spawn {
+		p.running++
+	}
+	p.mu.Unlock()
+	if spawn {
+		go p.drain()
+	}
+}
+
+// drain pulls queued tasks until the queue is empty, then exits. The
+// running counter and the emptiness check share p.mu, so a Go racing a
+// dying drain worker either hands it the task or observes the decremented
+// count and spawns a replacement — tasks are never stranded.
+func (p *Pool) drain() {
+	for {
+		p.mu.Lock()
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+			p.running--
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[p.head]
+		p.queue[p.head] = nil // release the closure as soon as it is claimed
+		p.head++
+		if p.head >= 1024 && p.head*2 >= len(p.queue) {
+			n := copy(p.queue, p.queue[p.head:])
+			p.queue = p.queue[:n]
+			p.head = 0
+		}
+		p.mu.Unlock()
+		task()
+	}
 }

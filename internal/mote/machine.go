@@ -174,7 +174,7 @@ type Machine struct {
 	radioBuf   []uint16
 	debugOut   []uint16
 	trace      []TraceEvent
-	profCnt    map[int32]uint64
+	profCnt    []uint64     // dense PROFCNT hit counts, indexed by pc
 	branchStat []BranchStat // dense ground-truth table, indexed by pc
 
 	// Precomputed fast-path state shared by both cores (see run.go): the
@@ -199,58 +199,12 @@ type Machine struct {
 	stats Stats
 }
 
-// New creates a machine loaded with the given program.
+// New creates a machine loaded with the given program. All mutable state
+// lives behind Reset so a machine can later be reinitialized in place for
+// another run of the same program without reallocating (see reset.go).
 func New(prog []isa.Instr, cfg Config) *Machine {
-	if cfg.RAMWords <= 0 {
-		cfg.RAMWords = isa.DefaultRAMWords
-	}
-	if cfg.TickDiv <= 0 {
-		cfg.TickDiv = 8
-	}
-	if cfg.Predictor == nil {
-		cfg.Predictor = StaticNotTaken{}
-	}
-	if cfg.Cost == nil {
-		cfg.Cost = isa.DefaultCostModel()
-	}
-	if cfg.MaxTraceEvents <= 0 {
-		cfg.MaxTraceEvents = 1 << 22
-	}
-	if cfg.Sensor == nil {
-		cfg.Sensor = zeroSource{}
-	}
-	if cfg.Entropy == nil {
-		cfg.Entropy = zeroSource{}
-	}
-	m := &Machine{
-		prog:       prog,
-		cfg:        cfg,
-		sp:         int32(cfg.RAMWords),
-		mem:        make([]uint16, cfg.RAMWords),
-		profCnt:    make(map[int32]uint64),
-		branchStat: make([]BranchStat, len(prog)),
-		penalty:    uint64(cfg.Cost.TakenPenalty),
-	}
-	for op, cyc := range cfg.Cost.Cycles {
-		m.costs[op] = cyc
-	}
-	switch p := cfg.Predictor.(type) {
-	case StaticNotTaken:
-		m.predKind = predNotTaken
-	case BTFN:
-		m.predKind = predBTFN
-	case *Bimodal:
-		m.predKind = predBimodal
-		m.bimodal = p
-	default:
-		m.predKind = predGeneric
-		m.trainable, _ = cfg.Predictor.(TrainablePredictor)
-	}
-	if cfg.Power != nil {
-		pw := cfg.Power.withDefaults()
-		m.cfg.Power = &pw
-		m.power = &powerState{cfg: pw, charge: pw.StartChargeUJ}
-	}
+	m := &Machine{prog: prog}
+	m.Reset(cfg)
 	return m
 }
 
@@ -265,8 +219,20 @@ func (m *Machine) SP() int32 { return m.sp }
 // Trace returns the trace buffer (TRACE instruction log).
 func (m *Machine) Trace() []TraceEvent { return m.trace }
 
-// ProfileCounters returns the PROFCNT counter map.
-func (m *Machine) ProfileCounters() map[int32]uint64 { return m.profCnt }
+// ProfileCounters returns the PROFCNT counters keyed by counter id. The
+// map is a snapshot built per call over the machine's dense per-pc hit
+// table (the same dense-inside, map-at-the-boundary shape as BranchStats);
+// PROFCNT sites sharing an id sum into one entry, exactly as the original
+// live map did.
+func (m *Machine) ProfileCounters() map[int32]uint64 {
+	out := make(map[int32]uint64)
+	for pc, n := range m.profCnt {
+		if n != 0 {
+			out[m.prog[pc].Imm] += n
+		}
+	}
+	return out
+}
 
 // BranchStats returns ground-truth per-branch outcome counts keyed by the
 // branch instruction's address. The map is a view built per call over the
@@ -546,7 +512,7 @@ func (m *Machine) stepInstr() error {
 		}
 		m.trace = append(m.trace, TraceEvent{ID: in.Imm, Tick: m.Tick()})
 	case isa.PROFCNT:
-		m.profCnt[in.Imm]++
+		m.profCnt[m.pc]++
 	default:
 		return fmt.Errorf("%w: opcode %v at pc=%d", ErrBadInstr, in.Op, m.pc)
 	}

@@ -1,0 +1,147 @@
+package mote
+
+import (
+	"reflect"
+	"testing"
+
+	"codetomo/internal/isa"
+)
+
+// resetProg exercises every per-run mutable surface Reset must clear:
+// branches (dense branchStat), PROFCNT counters, TRACE events, ADC reads,
+// RAM stores, and the radio/debug/LED peripherals.
+func resetProg(n int32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.LDI, Rd: 1, Imm: n},
+		{Op: isa.TRACE, Imm: 0},               // 1: loop head, proc-0 enter
+		{Op: isa.IN, Rd: 2, Imm: isa.PortADC}, // sensor-dependent state
+		{Op: isa.ST, Ra: 0, Rb: 2, Imm: 4},    // touch RAM at word 4
+		{Op: isa.PROFCNT, Imm: 7},
+		{Op: isa.XORI, Rd: 3, Ra: 3, Imm: 1},
+		{Op: isa.BNZ, Ra: 3, Imm: 8}, // alternating, trains branchStat
+		{Op: isa.NOP},
+		{Op: isa.OUT, Ra: 2, Imm: isa.PortRadioData}, // 8
+		{Op: isa.OUT, Ra: 2, Imm: isa.PortLED},
+		{Op: isa.TRACE, Imm: 1}, // proc-0 exit
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1},
+		{Op: isa.BNZ, Ra: 1, Imm: 1},
+		{Op: isa.HALT},
+	}
+}
+
+// snapshot copies every piece of machine state a program can observe or a
+// caller can extract, so two machines can be compared field by field.
+func snapshot(m *Machine) map[string]any {
+	return map[string]any{
+		"pc":         m.pc,
+		"sp":         m.sp,
+		"regs":       m.regs,
+		"mem":        append([]uint16(nil), m.mem...),
+		"halted":     m.halted,
+		"resetIdx":   m.resetIdx,
+		"led":        m.ledState,
+		"radio":      append([]uint16(nil), m.radioBuf...),
+		"debug":      append([]uint16(nil), m.debugOut...),
+		"trace":      append([]TraceEvent(nil), m.trace...),
+		"profCnt":    append([]uint64(nil), m.profCnt...),
+		"branchStat": append([]BranchStat(nil), m.branchStat...),
+		"costs":      m.costs,
+		"penalty":    m.penalty,
+		"predKind":   m.predKind,
+		"durableLen": m.durableLen,
+		"traceDepth": m.traceDepth,
+		"stats":      m.stats,
+	}
+}
+
+// TestResetMatchesNew pins the machine-reuse determinism contract: running
+// a program on a Reset machine — after it already ran something else,
+// under a different configuration — leaves state bit-identical to running
+// it on a freshly constructed machine. The fleet's streaming pipeline
+// reuses one machine per worker on exactly this guarantee.
+func TestResetMatchesNew(t *testing.T) {
+	prog := resetProg(50)
+	cfg := DefaultConfig()
+	cfg.RAMWords = 128
+	cfg.TickDiv = 4
+	cfg.Predictor = BTFN{}
+
+	dirty := New(prog, cfg)
+	// Dirty the machine thoroughly first: a different shape (RAMWords), a
+	// different predictor, and a mid-run watchdog reset.
+	dirtyCfg := DefaultConfig()
+	dirtyCfg.RAMWords = 64
+	dirtyCfg.Predictor = StaticNotTaken{}
+	dirtyCfg.Resets = []ResetEvent{{AtCycle: 500}}
+	dirty.Reset(dirtyCfg)
+	if err := dirty.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		fresh := New(prog, cfg)
+		if err := fresh.Run(1 << 40); err != nil {
+			t.Fatal(err)
+		}
+		dirty.Reset(cfg)
+		if err := dirty.Run(1 << 40); err != nil {
+			t.Fatal(err)
+		}
+		fs, ds := snapshot(fresh), snapshot(dirty)
+		for k, fv := range fs {
+			if !reflect.DeepEqual(fv, ds[k]) {
+				t.Fatalf("round %d: %s diverged after Reset:\nfresh: %+v\nreset: %+v", round, k, fv, ds[k])
+			}
+		}
+		if len(dirty.trace) == 0 || dirty.stats.CondBranches == 0 {
+			t.Fatalf("round %d: program did not exercise trace/branch state", round)
+		}
+	}
+}
+
+// TestResetHonorsDefaults pins that Reset applies the same zero-value
+// defaulting as New (a cfg with holes must not carry the previous run's
+// values through).
+func TestResetHonorsDefaults(t *testing.T) {
+	prog := resetProg(3)
+	custom := DefaultConfig()
+	custom.RAMWords = 64
+	custom.TickDiv = 16
+	m := New(prog, custom)
+	m.Reset(Config{})
+	if got, want := len(m.mem), isa.DefaultRAMWords; got != want {
+		t.Fatalf("RAMWords after Reset(Config{}): %d, want default %d", got, want)
+	}
+	if m.cfg.TickDiv != 8 {
+		t.Fatalf("TickDiv after Reset(Config{}): %d, want default 8", m.cfg.TickDiv)
+	}
+	if m.cfg.Predictor == nil || m.cfg.Cost == nil {
+		t.Fatal("predictor/cost defaults not applied by Reset")
+	}
+}
+
+// TestResetRunAllocatesNothing pins the fleet's steady-state allocation
+// contract: after warmup, Reset + Run on the mains-powered path allocates
+// nothing — RAM is re-zeroed in place and the instrumentation tables are
+// cleared, not reallocated. The trace buffer is excluded by sizing the
+// run so append never grows it past the warmup capacity.
+func TestResetRunAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	prog := branchyProg(2, 500)
+	cfg := benchCfg() // Cost and Predictor set: Reset shares them read-only
+	m := New(prog, cfg)
+	if err := m.Run(1 << 40); err != nil { // warmup sizes every buffer
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		m.Reset(cfg)
+		if err := m.Run(1 << 40); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Reset+Run: %v allocs per mote, want 0", avg)
+	}
+}

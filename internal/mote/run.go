@@ -299,7 +299,7 @@ func (m *Machine) runSegment(stop uint64) error {
 			}
 			m.trace = append(m.trace, TraceEvent{ID: in.Imm, Tick: cycles/uint64(m.cfg.TickDiv) + m.cfg.ClockOffsetTicks})
 		case isa.PROFCNT:
-			m.profCnt[in.Imm]++
+			m.profCnt[i]++
 		default:
 			err = fmt.Errorf("%w: opcode %v at pc=%d", ErrBadInstr, in.Op, pc)
 			goto fault

@@ -64,13 +64,47 @@ func Push(addr string, frames [][]byte, retries int) (PushStats, error) {
 
 // PushFrames is Push with the session fully configured.
 func PushFrames(addr string, frames [][]byte, cfg PushConfig) (PushStats, error) {
+	s, err := DialPush(addr, cfg)
+	if err != nil {
+		return PushStats{}, err
+	}
+	defer s.Close()
+	err = s.Send(frames)
+	return s.Stats(), err
+}
+
+// PushSession is a long-lived client push connection: one TCP dial, any
+// number of Send calls, one running PushStats. It is the wire half of the
+// streaming fleet pipeline — cohorts of frames go out as they are
+// simulated instead of a fleet's worth being materialized first — and is
+// not safe for concurrent Send.
+type PushSession struct {
+	conn net.Conn
+	cfg  PushConfig
+	st   PushStats
+}
+
+// DialPush opens a push session to a station's TCP ingest.
+func DialPush(addr string, cfg PushConfig) (*PushSession, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return PushStats{}, fmt.Errorf("station: push: %w", err)
+		return nil, fmt.Errorf("station: push: %w", err)
 	}
-	defer conn.Close()
-	return push(conn, frames, cfg)
+	return &PushSession{conn: conn, cfg: cfg.withDefaults()}, nil
 }
+
+// Send pushes one batch of frames through the session, accumulating into
+// Stats. A transport error (including ErrAckTimeout) poisons the session:
+// the connection state is unknown, so the caller should Close and redial.
+func (s *PushSession) Send(frames [][]byte) error {
+	return push(s.conn, frames, s.cfg, &s.st)
+}
+
+// Stats returns the session's accounting so far.
+func (s *PushSession) Stats() PushStats { return s.st }
+
+// Close releases the connection.
+func (s *PushSession) Close() error { return s.conn.Close() }
 
 // PushUploads is PushFrames over a simulated fleet's deliveries, in mote
 // order — the loopback demo's client half.
@@ -88,9 +122,10 @@ type deadlineConn interface {
 	SetReadDeadline(t time.Time) error
 }
 
-func push(conn io.ReadWriter, frames [][]byte, cfg PushConfig) (PushStats, error) {
-	cfg = cfg.withDefaults()
-	var st PushStats
+// push runs the stop-and-wait loop for one batch, accumulating into st
+// (already-defaulted cfg; the io.ReadWriter form keeps in-memory pipes
+// testable).
+func push(conn io.ReadWriter, frames [][]byte, cfg PushConfig, st *PushStats) error {
 	var hdr [2]byte
 	var status [1]byte
 	for _, f := range frames {
@@ -107,19 +142,19 @@ func push(conn io.ReadWriter, frames [][]byte, cfg PushConfig) (PushStats, error
 				st.Retransmissions++
 			}
 			if _, err := conn.Write(hdr[:]); err != nil {
-				return st, fmt.Errorf("station: push: %w", err)
+				return fmt.Errorf("station: push: %w", err)
 			}
 			if _, err := conn.Write(f); err != nil {
-				return st, fmt.Errorf("station: push: %w", err)
+				return fmt.Errorf("station: push: %w", err)
 			}
 			if dc, ok := conn.(deadlineConn); ok && cfg.AckTimeout > 0 {
 				_ = dc.SetReadDeadline(time.Now().Add(cfg.AckTimeout))
 			}
 			if _, err := io.ReadFull(conn, status[:]); err != nil {
 				if isTimeout(err) {
-					return st, fmt.Errorf("%w after %v", ErrAckTimeout, cfg.AckTimeout)
+					return fmt.Errorf("%w after %v", ErrAckTimeout, cfg.AckTimeout)
 				}
-				return st, fmt.Errorf("station: push: %w", err)
+				return fmt.Errorf("station: push: %w", err)
 			}
 			if status[0] == AckByte {
 				acked = true
@@ -132,7 +167,7 @@ func push(conn io.ReadWriter, frames [][]byte, cfg PushConfig) (PushStats, error
 			st.Failed++
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // isTimeout reports whether err is a read-deadline expiry.

@@ -19,6 +19,13 @@ import (
 	"codetomo/internal/trace"
 )
 
+// MaxFleetMotes bounds the deployment size RunFleet accepts. Wire-format
+// mote IDs are 16-bit, so above 65535 IDs wrap; that is harmless
+// in-process (reassembly is per-mote and never mixes motes), but paths
+// that put IDs on the wire (FleetUploads, FleetFrames) keep the 65535
+// cap.
+const MaxFleetMotes = 1 << 20
+
 // FleetConfig tunes a fleet pipeline run: the base pipeline knobs plus the
 // deployment shape, the radio channel, and the streaming-estimation
 // schedule. The zero value is usable — four motes on the base workload
@@ -26,7 +33,7 @@ import (
 type FleetConfig struct {
 	Config
 
-	// Motes is the deployment size (default 4, max 65535).
+	// Motes is the deployment size (default 4, max MaxFleetMotes).
 	Motes int
 	// Workloads assigns input regimes to motes round-robin; empty means
 	// every mote observes Config.Workload (through its own seed).
@@ -34,6 +41,10 @@ type FleetConfig struct {
 	// Workers bounds concurrent mote simulations (default 4). It affects
 	// wall time only, never results.
 	Workers int
+	// Cohort is the streaming scheduler's batch size — motes per pooled
+	// worker task (default fleet.DefaultCohortSize). Like Workers it moves
+	// wall time and peak memory only, never results.
+	Cohort int
 	// EventsPerPacket is the radio batching granularity (default 32, max
 	// trace.MaxPacketEvents).
 	EventsPerPacket int
@@ -97,11 +108,14 @@ func (c FleetConfig) Validate() error {
 	if err := c.Config.Validate(); err != nil {
 		return err
 	}
-	if c.Motes < 0 || c.Motes > 65535 {
-		return fmt.Errorf("codetomo: Motes = %d; must be in [1, 65535] (zero selects the default of 4)", c.Motes)
+	if c.Motes < 0 || c.Motes > MaxFleetMotes {
+		return fmt.Errorf("codetomo: Motes = %d; must be in [1, %d] (zero selects the default of 4)", c.Motes, MaxFleetMotes)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("codetomo: Workers = %d; must be positive (zero selects the default of 4)", c.Workers)
+	}
+	if c.Cohort < 0 {
+		return fmt.Errorf("codetomo: Cohort = %d; must be positive (zero selects the default of %d)", c.Cohort, fleet.DefaultCohortSize)
 	}
 	if c.EventsPerPacket < 0 || c.EventsPerPacket > trace.MaxPacketEvents {
 		return fmt.Errorf("codetomo: EventsPerPacket = %d; must be in [1, %d] (zero selects the default of %d)",
@@ -270,6 +284,12 @@ const (
 	fleetEnergySeed     = 86243  // harvest-process RNG base
 )
 
+// maxPerMoteRows caps the per-mote uplink table in FleetResult.Fleet: a
+// human-readable diagnostic worth keeping for a testbed, pure ballast for
+// a million-mote sweep. Beyond this the table is suppressed (Tables()
+// renders nothing for an empty PerMote) and only fleet totals are kept.
+const maxPerMoteRows = 4096
+
 // fleetSpecs derives the deployment's mote specs from the config: workload
 // assignment round-robin, per-mote seeds, and random (but seeded) clock
 // offsets of up to ~1M ticks.
@@ -278,6 +298,8 @@ func fleetSpecs(cfg FleetConfig) []fleet.MoteSpec {
 	specs := make([]fleet.MoteSpec, cfg.Motes)
 	for i := range specs {
 		specs[i] = fleet.MoteSpec{
+			// Wire IDs are 16-bit; above 65535 they wrap, which in-process
+			// paths tolerate (see MaxFleetMotes) and wire paths reject.
 			ID:               uint16(i),
 			Workload:         cfg.Workloads[i%len(cfg.Workloads)],
 			Seed:             cfg.Seed + int64(i+1)*fleetMoteSeedStride,
@@ -299,6 +321,7 @@ func simConfig(cfg FleetConfig, prog []isa.Instr) fleet.SimConfig {
 		Mote:      mc,
 		MaxCycles: cfg.MaxCycles,
 		Workers:   cfg.Workers,
+		Cohort:    cfg.Cohort,
 		Link: fleet.LinkConfig{
 			DropProb:        cfg.DropProb,
 			DupProb:         cfg.DupProb,
@@ -327,6 +350,9 @@ func FleetUploads(source string, cfg FleetConfig) ([]fleet.MoteUpload, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Motes > 65535 {
+		return nil, fmt.Errorf("codetomo: Motes = %d; wire-format mote IDs are 16-bit, so uploads cap at 65535 motes", cfg.Motes)
+	}
 	cfg = cfg.withDefaults()
 	prof, err := compile.Build(source, compile.Options{
 		Instrument:   compile.ModeTimestamps,
@@ -337,6 +363,47 @@ func FleetUploads(source string, cfg FleetConfig) ([]fleet.MoteUpload, error) {
 		return nil, err
 	}
 	return fleet.Simulate(simConfig(cfg, prof.Code), fleetSpecs(cfg))
+}
+
+// FleetFrames streams the deployment's delivered uplink frames to emit,
+// one call per mote, without ever materializing the fleet: motes run in
+// cohorts on a bounded pool, and each cohort's frames are handed off and
+// dropped before the next cohort's results are retained. It is the feed
+// for pushing a large fleet to a base station over the wire
+// (cmd/ctfleet -push); peak memory is O(Workers × Cohort) motes.
+//
+// Cohorts complete in scheduling order, not mote order, so emit sees
+// motes in a nondeterministic order — safe for a base station, whose
+// snapshots are a pure function of the accepted-frame multiset. The frame
+// slices become the callee's; they are not recycled.
+func FleetFrames(source string, cfg FleetConfig, emit func(frames [][]byte) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Motes > 65535 {
+		return fmt.Errorf("codetomo: Motes = %d; wire-format mote IDs are 16-bit, so uploads cap at 65535 motes", cfg.Motes)
+	}
+	cfg = cfg.withDefaults()
+	prof, err := compile.Build(source, compile.Options{
+		Instrument:   compile.ModeTimestamps,
+		FuseCompares: cfg.FuseCompares,
+		RotateLoops:  cfg.RotateLoops,
+	})
+	if err != nil {
+		return err
+	}
+	sim := simConfig(cfg, prof.Code)
+	sim.KeepFrames = true
+	pool := fleet.NewPool(cfg.Workers)
+	_, err = fleet.SimulateStreamOn(pool, sim, fleetSpecs(cfg), func(first int, cohort []fleet.MoteResult) error {
+		for i := range cohort {
+			if err := emit(cohort[i].Frames); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
 }
 
 // RunFleet executes the Code Tomography pipeline against a simulated
@@ -367,28 +434,95 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
-	// 2. Simulate the deployment on a bounded worker pool.
+	// 2. Simulate the deployment through the streaming cohort pipeline on
+	// a bounded worker pool. The sink folds each cohort's results into the
+	// fleet accumulators the moment they exist, so raw frames, trace
+	// events, and intervals are gone before the next cohort runs: peak
+	// memory is O(Workers × Cohort) motes of transient state plus the
+	// per-procedure duration samples the estimator actually needs.
 	sim := simConfig(cfg, prof.Code)
+	specs := fleetSpecs(cfg)
 	fst := fleet.Stats{Motes: cfg.Motes, SamplesPerProc: make(map[string]int)}
 
+	// Accumulator slots. Integer counters fold directly in the sink —
+	// sums commute, so cohort completion order cannot show in them. Float
+	// sums do not commute bit-for-bit, so per-mote energy lands in
+	// index-addressed slots and is folded in mote order after the run.
+	// The per-mote uplink table is an observability aid, not a result;
+	// past maxPerMoteRows it is suppressed rather than held.
+	perMote := make([]map[int][]float64, len(specs))
+	energyUJ := make([]float64, len(specs))
+	harvestUJ := make([]float64, len(specs))
+	lostByProc := make(map[int]int)
+	var sumGross uint64
+	keepRows := len(specs) <= maxPerMoteRows
+	var rows []fleet.MoteUplink
+	if keepRows {
+		rows = make([]fleet.MoteUplink, len(specs))
+	}
+
 	// One bounded pool serves the whole campaign: mote simulation (with
-	// per-mote uplink reassembly fused into each task), per-procedure
+	// per-mote uplink reassembly fused into each cohort task), per-procedure
 	// model construction, and streaming estimation all share cfg.Workers
 	// slots. Simulation runs in the background while the base station
 	// builds estimation models — path enumeration is a pure function of
 	// the binary, so the estimation tier overlaps the fleet instead of
 	// serializing after it. Every task writes only its own slot, so
-	// results stay bit-identical across Workers and GOMAXPROCS.
+	// results stay bit-identical across Workers, Cohort, and GOMAXPROCS.
 	pool := fleet.NewPool(cfg.Workers)
 	t0 := time.Now()
 	var (
-		uploads []fleet.ProcessedUpload
-		simErr  error
-		simDone = make(chan struct{})
+		oracleDense []mote.BranchStat
+		simErr      error
+		simDone     = make(chan struct{})
 	)
 	go func() {
 		defer close(simDone)
-		uploads, simErr = fleet.SimulateReassembledOn(pool, sim, fleetSpecs(cfg))
+		oracleDense, simErr = fleet.SimulateStreamOn(pool, sim, specs, func(first int, cohort []fleet.MoteResult) error {
+			for j := range cohort {
+				up := &cohort[j]
+				i := first + j
+				ust := up.Uplink
+				fst.Link.Add(up.Link)
+				fst.ARQ.Add(up.ARQ)
+				fst.Resets += up.Stats.Resets
+				fst.Uplink.PacketsDelivered += ust.PacketsDelivered
+				fst.Uplink.PacketsDuplicate += ust.PacketsDuplicate
+				fst.Uplink.PacketsLost += ust.PacketsLost
+				fst.Uplink.PacketsCorrupted += ust.PacketsCorrupted
+				fst.Uplink.EventsDelivered += ust.EventsDelivered
+				fst.Uplink.InvocationsRecovered += ust.InvocationsRecovered
+				fst.Uplink.InvocationsDiscarded += ust.InvocationsDiscarded
+				fst.Uplink.LostPartials += ust.LostPartials
+				for p, n := range ust.LostPartialsByProc {
+					lostByProc[p] += n
+				}
+				fst.EventsLogged += up.EventsLogged
+				fst.PowerFailures += up.Stats.PowerFailures
+				fst.Checkpoints += up.Stats.Checkpoints
+				fst.Restores += up.Stats.Restores
+				fst.LostVolatileEvents += up.Stats.LostVolatileEvents
+				sumGross += up.GrossTicks
+				energyUJ[i] = fleet.MoteEnergyUJ(up.Stats)
+				harvestUJ[i] = up.Stats.HarvestedUJ
+				perMote[i] = up.Durations
+				if keepRows {
+					rows[i] = fleet.MoteUplink{
+						ID:              up.Spec.ID,
+						Resets:          up.Stats.Resets,
+						Sent:            up.Link.Sent,
+						Delivered:       ust.PacketsDelivered,
+						Corrupted:       ust.PacketsCorrupted,
+						Retransmissions: up.ARQ.Retransmissions,
+						Recovered:       up.ARQ.Recovered,
+						EnergyUJ:        energyUJ[i],
+						PowerFailures:   up.Stats.PowerFailures,
+						Restores:        up.Stats.Restores,
+					}
+				}
+			}
+			return nil
+		})
 	}()
 
 	// Models for every branchy procedure, built concurrently with the
@@ -418,58 +552,24 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 	}
 	fst.SimWall = time.Since(t0)
 
-	// 3. Merge per-mote uplink accounting (mote order — deterministic)
-	// and batch the per-procedure samples into uplink rounds.
+	// 3. Ordered float folds (mote order — deterministic) and batching of
+	// the per-procedure samples into uplink rounds. Everything else was
+	// already merged in the sink, cohort by cohort.
 	t1 := time.Now()
-	perMote := make([]map[int][]float64, len(uploads))
-	lostByProc := make(map[int]int)
-	var sumGrossTicks float64
-	for i, up := range uploads {
-		ust := up.Uplink
-		fst.Link.Add(up.Link)
-		fst.ARQ.Add(up.ARQ)
-		fst.Resets += up.Stats.Resets
-		fst.Uplink.PacketsDelivered += ust.PacketsDelivered
-		fst.Uplink.PacketsDuplicate += ust.PacketsDuplicate
-		fst.Uplink.PacketsLost += ust.PacketsLost
-		fst.Uplink.PacketsCorrupted += ust.PacketsCorrupted
-		fst.Uplink.EventsDelivered += ust.EventsDelivered
-		fst.Uplink.InvocationsRecovered += ust.InvocationsRecovered
-		fst.Uplink.InvocationsDiscarded += ust.InvocationsDiscarded
-		fst.Uplink.LostPartials += ust.LostPartials
-		for p, n := range ust.LostPartialsByProc {
-			lostByProc[p] += n
-		}
-		fst.EventsLogged += up.EventsLogged
-		fst.EnergyUJ += fleet.MoteEnergyUJ(up.Stats)
-		fst.HarvestedUJ += up.Stats.HarvestedUJ
-		fst.PowerFailures += up.Stats.PowerFailures
-		fst.Checkpoints += up.Stats.Checkpoints
-		fst.Restores += up.Stats.Restores
-		fst.LostVolatileEvents += up.Stats.LostVolatileEvents
-		for _, iv := range up.Intervals {
-			sumGrossTicks += float64(iv.GrossTicks())
-		}
-		fst.PerMote = append(fst.PerMote, fleet.MoteUplink{
-			ID:              up.Spec.ID,
-			Resets:          up.Stats.Resets,
-			Sent:            up.Link.Sent,
-			Delivered:       ust.PacketsDelivered,
-			Corrupted:       ust.PacketsCorrupted,
-			Retransmissions: up.ARQ.Retransmissions,
-			Recovered:       up.ARQ.Recovered,
-			EnergyUJ:        fleet.MoteEnergyUJ(up.Stats),
-			PowerFailures:   up.Stats.PowerFailures,
-			Restores:        up.Stats.Restores,
-		})
-		perMote[i] = up.Durations
+	for i := range specs {
+		fst.EnergyUJ += energyUJ[i]
+		fst.HarvestedUJ += harvestUJ[i]
 	}
+	if keepRows {
+		fst.PerMote = rows
+	}
+	sumGrossTicks := float64(sumGross)
 	rounds := fleet.BatchStreams(perMote, cfg.Batches)
 	fst.UplinkWall = time.Since(t1)
 
 	// 4. Gate the prebuilt models on sample count and coverage, then
 	// estimate all streams on the same pool (deterministic merge order).
-	oracleStats := fleet.MergeBranchStatsProcessed(uploads)
+	oracleStats := fleet.DenseBranchStats(oracleDense)
 	type pending struct {
 		pe        ProcEstimate
 		streamIdx int // -1: fallback, no stream

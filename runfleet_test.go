@@ -92,11 +92,12 @@ func TestRunFleetDeterministic(t *testing.T) {
 		before    RunStats
 		output    []uint16
 	}
-	take := func(workers, maxprocs int) snapshot {
+	take := func(workers, cohort, maxprocs int) snapshot {
 		prev := runtime.GOMAXPROCS(maxprocs)
 		defer runtime.GOMAXPROCS(prev)
 		cfg := fleetConfig()
 		cfg.Workers = workers
+		cfg.Cohort = cohort
 		res, err := RunFleet(src, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -110,12 +111,12 @@ func TestRunFleetDeterministic(t *testing.T) {
 		}
 	}
 
-	ref := take(1, 1)
-	for _, tc := range []struct{ workers, maxprocs int }{{1, 1}, {4, 1}, {4, 4}} {
-		got := take(tc.workers, tc.maxprocs)
+	ref := take(1, 1, 1)
+	for _, tc := range []struct{ workers, cohort, maxprocs int }{{1, 1, 1}, {4, 1, 1}, {4, 0, 4}, {3, 2, 4}} {
+		got := take(tc.workers, tc.cohort, tc.maxprocs)
 		if !reflect.DeepEqual(got, ref) {
-			t.Fatalf("workers=%d GOMAXPROCS=%d diverged from reference:\n%+v\nvs\n%+v",
-				tc.workers, tc.maxprocs, got, ref)
+			t.Fatalf("workers=%d cohort=%d GOMAXPROCS=%d diverged from reference:\n%+v\nvs\n%+v",
+				tc.workers, tc.cohort, tc.maxprocs, got, ref)
 		}
 	}
 }
@@ -291,8 +292,9 @@ func TestRunFleetRejectsStatefulPredictor(t *testing.T) {
 func TestFleetConfigValidate(t *testing.T) {
 	bad := []FleetConfig{
 		{Motes: -1},
-		{Motes: 1 << 17},
+		{Motes: MaxFleetMotes + 1},
 		{Workers: -2},
+		{Cohort: -1},
 		{EventsPerPacket: -1},
 		{EventsPerPacket: 1000},
 		{DropProb: 1.5},

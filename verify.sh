@@ -52,10 +52,16 @@ else
 	echo "staticcheck not installed; skipping"
 fi
 
-echo "== bench smoke (estimation kernel, interpreter cores, station, energy)"
+echo "== bench smoke (estimation kernel, interpreter cores, station, fleet, energy)"
 # One iteration of every benchmark: keeps the bench code compiling and
-# running without paying for stable timings.
-go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station ./internal/fault -run='^$' -bench=. -benchtime=1x
+# running without paying for stable timings. -benchmem so the fleet
+# pipeline's bytes-per-mote stays visible in the smoke output.
+go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station ./internal/fleet ./internal/fault -run='^$' -bench=. -benchtime=1x -benchmem
+
+echo "== fleet scale smoke (fl3 at 10^5 motes)"
+# The streaming cohort pipeline at CI scale: a hundred thousand motes must
+# simulate, uplink, and reduce without materializing the fleet.
+go run ./cmd/ctbench -exp fl3 -fleetmax 100000
 
 echo "== station smoke (daemon boot, loopback push, HTTP, clean shutdown)"
 # Boots ctstationd in-process on ephemeral loopback ports, pushes one
