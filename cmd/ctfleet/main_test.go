@@ -65,6 +65,8 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"unknown estimator", []string{"-estimator", "psychic", prog}, "-estimator"},
 		{"robust over histogram", []string{"-robust", "-estimator", "histogram", prog}, "-robust"},
 		{"negative push retries", []string{"-push", "127.0.0.1:1", "-pushretries", "-1", prog}, "-pushretries"},
+		{"unknown pgo pass", []string{"-pgo", "vectorize", prog}, "-pgo"},
+		{"negative pagecost", []string{"-pagecost", "-1", prog}, "-pagecost"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,6 +104,20 @@ func TestRunHappyPath(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// A fleet campaign with the full PGO stack and a page penalty: the
+// pipeline's output-equality gate makes exit 0 a semantics assertion.
+func TestRunWithPGOPasses(t *testing.T) {
+	prog := writeProgram(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-motes", "2", "-workers", "2", "-pgo", "inline,hotcold", "-pagecost", "5", prog}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "placement result") {
+		t.Fatalf("stdout missing placement result:\n%s", stdout.String())
 	}
 }
 

@@ -4,11 +4,13 @@
 // maybe-uninitialized reads, value-range findings (dead-branch,
 // unreachable-block, loop-unbounded), and static cost bounds (provable
 // WCET cycles, stack depth, recursion, flash size) against the M16 part
-// limits.
+// limits. With -pages it adds a flash-page report: pages each procedure
+// occupies, avoidable page straddles, and cold-split candidates under
+// static branch priors.
 //
 // Usage:
 //
-//	ctlint [-json] [-costs] [-max-cycles n] file.mc...
+//	ctlint [-json] [-costs] [-pages] [-max-cycles n] file.mc...
 //
 // Exit status is 0 when no error-severity diagnostics were found, 1 when
 // at least one file has errors, and 2 on usage mistakes.
@@ -26,6 +28,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	costs := flag.Bool("costs", false, "include an informational cost summary per procedure")
+	pages := flag.Bool("pages", false, "include a flash-page occupancy report and cold-split candidates per procedure")
 	maxCycles := flag.Uint64("max-cycles", 0, "warn when a procedure's provable worst-case cycle bound exceeds this (0 = off)")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -34,7 +37,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := lint.Options{CostReport: *costs, MaxCycles: *maxCycles}
+	opts := lint.Options{CostReport: *costs, PageReport: *pages, MaxCycles: *maxCycles}
 	var all []lint.Diag
 	for _, name := range flag.Args() {
 		src, err := os.ReadFile(name)

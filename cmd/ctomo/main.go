@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ctomo [-workload gaussian] [-seed 1] [-tick 8] [-estimator em|moments|histogram] [-static] file.mc
+//	ctomo [-workload gaussian] [-seed 1] [-tick 8] [-estimator em|moments|histogram] [-static] [-pgo all] [-pagecost 5] file.mc
 package main
 
 import (
@@ -34,6 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fuse := fs.Bool("fuse", false, "enable compare-branch fusion in all builds")
 	rotate := fs.Bool("rotate", false, "enable loop rotation in all builds")
 	static := fs.Bool("static", false, "pin statically resolved branches and check fits against the static envelope")
+	pgo := fs.String("pgo", "", "profile-guided passes beyond placement: comma-separated subset of inline,superblock,hotcold,pagepack, or all/none")
+	pageCost := fs.Int("pagecost", 0, "flash page-crossing penalty in cycles charged by the mote (0 = uniform flash)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
@@ -44,9 +46,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tick < 1 {
 		return usage("invalid -tick: %d cycles", *tick)
 	}
+	passes, err := cli.ParsePGOPasses(*pgo)
+	if err != nil {
+		return usage("invalid -pgo: %v", err)
+	}
+	if *pageCost < 0 {
+		return usage("invalid -pagecost: %d cycles", *pageCost)
+	}
 
 	cfg := codetomo.Config{Workload: *regime, Seed: *seed, TickDiv: *tick,
-		FuseCompares: *fuse, RotateLoops: *rotate, StaticResolve: *static}
+		FuseCompares: *fuse, RotateLoops: *rotate, StaticResolve: *static,
+		PGOInline: passes.Inline, PGOSuperblock: passes.Superblock,
+		PGOHotCold: passes.HotCold, PGOPagePack: passes.PagePack,
+		PageCrossPenalty: *pageCost}
 	est, err := cli.Estimator(*estName, *tick)
 	if err != nil {
 		return usage("invalid -estimator: %v", err)

@@ -50,6 +50,8 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"two files", []string{prog, prog}, "one source file"},
 		{"zero tick", []string{"-tick", "0", prog}, "-tick"},
 		{"unknown estimator", []string{"-estimator", "psychic", prog}, "-estimator"},
+		{"unknown pgo pass", []string{"-pgo", "inline,unroll", prog}, "-pgo"},
+		{"negative pagecost", []string{"-pagecost", "-3", prog}, "-pagecost"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -87,5 +89,20 @@ func TestRunHappyPath(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// The full PGO stack under a flash-page penalty must run the pipeline end
+// to end: the output-equality check inside the pipeline catches any
+// semantics change, so exit 0 here is a meaningful assertion.
+func TestRunWithPGOPasses(t *testing.T) {
+	prog := writeProgram(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-pgo", "all", "-pagecost", "5", prog}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "placement result") {
+		t.Fatalf("stdout missing placement result:\n%s", stdout.String())
 	}
 }

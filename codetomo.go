@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 
+	"codetomo/internal/cfg"
 	"codetomo/internal/compile"
 	"codetomo/internal/ir"
+	"codetomo/internal/isa"
 	"codetomo/internal/layout"
 	"codetomo/internal/markov"
 	"codetomo/internal/mote"
@@ -74,6 +76,19 @@ type Config struct {
 	// fitted estimate is sanity-checked against the procedure's static
 	// feasible duration envelope. Off by default.
 	StaticResolve bool
+	// PGOInline, PGOSuperblock, PGOHotCold, and PGOPagePack enable the
+	// profile-guided optimization passes beyond placement in the optimized
+	// rebuild (see compile.PGOOptions), driven by the same estimated
+	// probabilities that drive placement. All off by default.
+	PGOInline     bool
+	PGOSuperblock bool
+	PGOHotCold    bool
+	PGOPagePack   bool
+	// PageCrossPenalty, when positive, charges that many cycles on every
+	// executed control transfer landing on a different flash page — in the
+	// simulated mote and the timing metadata of every build of the
+	// pipeline (default 0: uniform flash).
+	PageCrossPenalty int
 }
 
 // Validate rejects configurations Run cannot honor. Zero values are legal
@@ -92,6 +107,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinCoverage < 0 || c.MinCoverage > 1 {
 		return fmt.Errorf("codetomo: MinCoverage = %v; must be a fraction in [0, 1] (zero selects the default of 0.85)", c.MinCoverage)
+	}
+	if c.PageCrossPenalty < 0 {
+		return fmt.Errorf("codetomo: PageCrossPenalty = %d; must be non-negative (zero models uniform flash)", c.PageCrossPenalty)
 	}
 	return nil
 }
@@ -276,6 +294,11 @@ func (c Config) sensorPair() (mote.SampleSource, mote.SampleSource, error) {
 func (c Config) execute(source string, opts compile.Options) (*compile.Output, *mote.Machine, error) {
 	opts.FuseCompares = c.FuseCompares
 	opts.RotateLoops = c.RotateLoops
+	if c.PageCrossPenalty > 0 && opts.Cost == nil {
+		cost := isa.DefaultCostModel()
+		cost.PageCrossPenalty = uint32(c.PageCrossPenalty)
+		opts.Cost = cost
+	}
 	out, err := compile.Build(source, opts)
 	if err != nil {
 		return nil, nil, err
@@ -289,6 +312,9 @@ func (c Config) execute(source string, opts compile.Options) (*compile.Output, *
 	mc.Predictor = c.Predictor
 	mc.Sensor = sensor
 	mc.Entropy = entropy
+	if opts.Cost != nil {
+		mc.Cost = opts.Cost
+	}
 	m := mote.New(out.Code, mc)
 	if err := m.Run(c.MaxCycles); err != nil {
 		return nil, nil, err
@@ -296,15 +322,59 @@ func (c Config) execute(source string, opts compile.Options) (*compile.Output, *
 	return out, m, nil
 }
 
+// pgoEnabled reports whether any profile-guided pass beyond placement is
+// selected.
+func (c Config) pgoEnabled() bool {
+	return c.PGOInline || c.PGOSuperblock || c.PGOHotCold || c.PGOPagePack
+}
+
+// pgoOptions converts the trusted per-procedure probability estimates into
+// compile.PGOOptions: each estimated procedure gets expected edge traversal
+// weights (the same conversion placement uses), and the selected passes are
+// enabled. Procedures without a trusted estimate get no weights and are
+// left untouched by every pass.
+func (c Config) pgoOptions(prog *cfg.Program, probs map[string]markov.EdgeProbs) *compile.PGOOptions {
+	weights := make(map[string]compile.ProcWeights, len(probs))
+	for _, p := range prog.Procs {
+		ep, ok := probs[p.Name]
+		if !ok {
+			continue
+		}
+		// Branchless procedures carry a markov.Uniform placeholder so
+		// placement has deterministic chain weights; that is not profile
+		// data, and letting it drive the PGO passes (page packing in
+		// particular reorders and pads whatever it has weights for) would
+		// transform code the estimator knows nothing about.
+		if len(p.BranchBlocks()) == 0 {
+			continue
+		}
+		weights[p.Name] = compile.ProcWeights(layout.FromProbs(p, ep))
+	}
+	return &compile.PGOOptions{
+		Weights:    weights,
+		Inline:     c.PGOInline,
+		Superblock: c.PGOSuperblock,
+		HotCold:    c.PGOHotCold,
+		PagePack:   c.PGOPagePack,
+	}
+}
+
 // measureLayouts is the pipeline's tail: run the uninstrumented binary
 // under the original and the optimized layout on the identical workload,
-// and verify the optimization preserved the program's output.
-func (c Config) measureLayouts(source string, plan layout.Plan) (before, after RunStats, output []uint16, err error) {
+// and verify the optimization preserved the program's output. When pgo is
+// non-nil the optimized build additionally runs the selected
+// profile-guided passes; layouts and hints are then recomputed inside the
+// build from the (pass-transformed) weights, so the plan is ignored.
+func (c Config) measureLayouts(source string, plan layout.Plan, pgo *compile.PGOOptions) (before, after RunStats, output []uint16, err error) {
 	_, beforeM, err := c.execute(source, compile.Options{})
 	if err != nil {
 		return RunStats{}, RunStats{}, nil, err
 	}
-	_, afterM, err := c.execute(source, compile.Options{Layouts: plan.Layouts, BranchHints: plan.Hints})
+	afterOpts := compile.Options{Layouts: plan.Layouts, BranchHints: plan.Hints}
+	if pgo != nil {
+		afterOpts.PGO = pgo
+	}
+	_, afterM, err := c.execute(source, afterOpts)
 	if err != nil {
 		return RunStats{}, RunStats{}, nil, err
 	}
@@ -427,7 +497,11 @@ func Run(source string, cfg Config) (*Result, error) {
 
 	// 4–5. Optimize placement, rebuild uninstrumented, verify, report.
 	plan := layout.PlanAll(prof.CFG, probs)
-	res.Before, res.After, res.Output, err = cfg.measureLayouts(source, plan)
+	var pgo *compile.PGOOptions
+	if cfg.pgoEnabled() {
+		pgo = cfg.pgoOptions(prof.CFG, probs)
+	}
+	res.Before, res.After, res.Output, err = cfg.measureLayouts(source, plan, pgo)
 	if err != nil {
 		return nil, err
 	}

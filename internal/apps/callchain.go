@@ -1,0 +1,52 @@
+package apps
+
+// CallChain is the call-heavy companion kernel to the suite in All(): its
+// handler conditions every sample through two small leaf helpers, so the
+// hot path is dominated by call/return overhead rather than branches. It
+// is what the profile-guided inlining pass (ctbench -exp pg1) is measured
+// on, and is kept out of All() so the committed numbers of the placement
+// experiments remain reproducible.
+var CallChain = App{
+	Name:        "chain",
+	Description: "call-heavy sample conditioning chain (inlining kernel)",
+	Handler:     "step",
+	Workload:    "gaussian",
+	template: `
+var peaks int;
+
+func scale(v int) int {
+	return (v * 3) / 4;
+}
+
+func clamp(v int) int {
+	if (v > 255) {
+		return 255;
+	}
+	if (v < 0) {
+		return 0;
+	}
+	return v;
+}
+
+func step(s int) int {
+	var v int = clamp(scale(s - 400));
+	if (v > 120) {
+		peaks = peaks + 1;
+		send(v);
+	} else {
+		led(v & 1);
+	}
+	return v;
+}
+
+func main() {
+	var i int;
+	var acc int = 0;
+	for (i = 0; i < @ITERS@; i = i + 1) {
+		acc = acc + step(sense());
+	}
+	debug(acc);
+	debug(peaks);
+}
+`,
+}

@@ -85,6 +85,12 @@ func (c Config) executeWorkload(app apps.App, opts compile.Options, regime strin
 	mc.Predictor = c.Predictor
 	mc.Sensor = sensor
 	mc.Entropy = workload.NewEntropy(rng.Fork())
+	// A build under a custom cost model (e.g. the PGO sweep's page-cross
+	// penalty) must execute under the same model, or the measured cycles
+	// would disagree with what the compiler optimized for.
+	if opts.Cost != nil {
+		mc.Cost = opts.Cost
+	}
 	m := mote.New(out.Code, mc)
 	if err := m.Run(c.MaxCycles); err != nil {
 		return nil, fmt.Errorf("bench: run %s: %w", app.Name, err)

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"codetomo/internal/apps"
 )
 
 // fastConfig keeps the experiment tests quick; ctbench uses DefaultConfig.
@@ -33,8 +35,8 @@ func floatCell(t *testing.T, s string) float64 {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 24 {
-		t.Fatalf("experiments = %d, want 24", len(exps))
+	if len(exps) != 25 {
+		t.Fatalf("experiments = %d, want 25", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -370,5 +372,37 @@ func TestStationIngestSweep(t *testing.T) {
 		if rate := floatCell(t, row[5]); rate <= 0 {
 			t.Errorf("motes=%s shards=%s: nonpositive frame rate %v", row[0], row[1], rate)
 		}
+	}
+}
+
+// TestPGOSweepShape checks the pg1 acceptance shape: one row per kernel
+// (the placement corpus plus the call-heavy chain), the full PGO stack
+// never slower than placement alone, and inlining actually earning cycles
+// on the call-heavy kernel it exists for.
+func TestPGOSweepShape(t *testing.T) {
+	tab, err := PGOSweep(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(apps.All()) + 1; len(tab.Rows) != want {
+		t.Fatalf("PG1 rows = %d, want %d\n%s", len(tab.Rows), want, tab.Render())
+	}
+	var sawChain bool
+	for _, row := range tab.Rows {
+		if floatCell(t, row[1]) <= 0 {
+			t.Errorf("%s: nonpositive placed cycles %s", row[0], row[1])
+		}
+		if stacked := floatCell(t, row[6]); stacked > 1.0 {
+			t.Errorf("%s: stacked PGO slower than placement-only (%v)\n%s", row[0], stacked, tab.Render())
+		}
+		if row[0] == "chain" {
+			sawChain = true
+			if inline := floatCell(t, row[2]); inline >= 1.0 {
+				t.Errorf("chain: inlining saved nothing (%v)\n%s", inline, tab.Render())
+			}
+		}
+	}
+	if !sawChain {
+		t.Fatalf("PG1 is missing the call-heavy chain kernel\n%s", tab.Render())
 	}
 }

@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"st1", "Station 1: base-station ingest throughput vs shards and fleet size", StationIngestSweep},
 		{"in1", "Intermittent 1: completion and estimation under harvested power", IntermittentSweep},
 		{"fl3", "Fleet 3: simulation density and scaling (motes/sec/core)", FleetScaleSweep},
+		{"pg1", "PGO 1: cycles by profile-guided pass vs placement-only", PGOSweep},
 	}
 }
 

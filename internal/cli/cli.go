@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"codetomo/internal/tomography"
 )
@@ -51,6 +52,41 @@ func BadProbability(flags ...ProbFlag) (ProbFlag, bool) {
 		}
 	}
 	return ProbFlag{}, false
+}
+
+// PGOPasses holds the selection parsed from a -pgo flag.
+type PGOPasses struct {
+	Inline     bool
+	Superblock bool
+	HotCold    bool
+	PagePack   bool
+}
+
+// ParsePGOPasses resolves the -pgo flag the pipeline CLIs share: a
+// comma-separated subset of {inline, superblock, hotcold, pagepack}, the
+// shorthand "all", or "" / "none" for placement-only.
+func ParsePGOPasses(spec string) (PGOPasses, error) {
+	var p PGOPasses
+	if spec == "" || spec == "none" {
+		return p, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(tok) {
+		case "inline":
+			p.Inline = true
+		case "superblock":
+			p.Superblock = true
+		case "hotcold":
+			p.HotCold = true
+		case "pagepack":
+			p.PagePack = true
+		case "all":
+			p = PGOPasses{Inline: true, Superblock: true, HotCold: true, PagePack: true}
+		default:
+			return PGOPasses{}, fmt.Errorf("%q (want a comma-separated subset of inline,superblock,hotcold,pagepack, or all/none)", tok)
+		}
+	}
+	return p, nil
 }
 
 // Estimator resolves the -estimator flag every pipeline CLI exposes. The

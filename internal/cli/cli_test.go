@@ -38,6 +38,29 @@ func TestBadProbability(t *testing.T) {
 	}
 }
 
+func TestParsePGOPasses(t *testing.T) {
+	cases := []struct {
+		spec string
+		want PGOPasses
+	}{
+		{"", PGOPasses{}},
+		{"none", PGOPasses{}},
+		{"inline", PGOPasses{Inline: true}},
+		{"superblock,pagepack", PGOPasses{Superblock: true, PagePack: true}},
+		{"hotcold, inline", PGOPasses{Inline: true, HotCold: true}},
+		{"all", PGOPasses{Inline: true, Superblock: true, HotCold: true, PagePack: true}},
+	}
+	for _, tc := range cases {
+		got, err := ParsePGOPasses(tc.spec)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePGOPasses(%q) = (%+v, %v), want %+v", tc.spec, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePGOPasses("inline,unroll"); err == nil || !strings.Contains(err.Error(), "unroll") {
+		t.Fatalf("unknown pass error = %v, want it to name the token", err)
+	}
+}
+
 func TestEstimatorResolution(t *testing.T) {
 	if est, err := Estimator("em", 8); err != nil || est != nil {
 		t.Fatalf("em: got (%v, %v), want (nil, nil) — the pipeline supplies the tuned default", est, err)

@@ -24,6 +24,14 @@ func Build(src string, opts Options) (*Output, error) {
 	if err := runPasses(prog, opts); err != nil {
 		return nil, err
 	}
+	// The PGO pipeline runs after the deterministic passes so its weights
+	// (keyed by the post-pass block IDs an instrumented build exposes)
+	// line up with the CFG it transforms.
+	if opts.PGO != nil {
+		if err := runPGO(prog, &opts); err != nil {
+			return nil, err
+		}
+	}
 	return Generate(prog, opts)
 }
 

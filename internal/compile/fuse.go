@@ -68,27 +68,27 @@ func (e *emitter) genFusedBranch(pm *ProcMeta, bid ir.BlockID, t ir.Br, op ir.Op
 	case t.False == next:
 		// Branch to True when the comparison holds; fall through to False.
 		pc := emitCmp(false, t.True)
-		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
-		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true, JmpPC: -1}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false, JmpPC: -1}
 		return uint64(e.cost.Cycles[e.code[pc].Op])
 	case t.True == next:
 		pc := emitCmp(true, t.False)
-		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
-		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true, JmpPC: -1}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false, JmpPC: -1}
 		return uint64(e.cost.Cycles[e.code[pc].Op])
 	case hotTrue:
 		pc := emitCmp(true, t.False)
 		jmp := e.emit(isa.Instr{Op: isa.JMP})
 		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.True})
-		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true}
-		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: true, JmpPC: -1}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true, JmpPC: jmp}
 		return uint64(e.cost.Cycles[e.code[pc].Op])
 	default:
 		pc := emitCmp(false, t.True)
 		jmp := e.emit(isa.Instr{Op: isa.JMP})
 		*fixups = append(*fixups, branchFixup{idx: int(jmp), block: t.False})
-		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true}
-		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true}
+		pm.Edges[EdgeKey{From: bid, To: t.True}] = EdgeInfo{BranchPC: pc, Taken: true, JmpPC: -1}
+		pm.Edges[EdgeKey{From: bid, To: t.False}] = EdgeInfo{BranchPC: pc, Taken: false, ViaJmp: true, JmpPC: jmp}
 		return uint64(e.cost.Cycles[e.code[pc].Op])
 	}
 }

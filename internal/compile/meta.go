@@ -49,11 +49,24 @@ type EdgeInfo struct {
 	// Taken reports whether traversing this edge takes that branch (as
 	// opposed to falling through it).
 	Taken bool
-	// ViaJmp reports whether the edge additionally executes a JMP.
+	// ViaJmp reports whether the edge additionally executes a JMP; JmpPC
+	// is that JMP's address (meaningful only when ViaJmp).
 	ViaJmp bool
+	JmpPC  int32
+	// PageCrosses is how many flash-page boundaries the edge's redirects
+	// cross (the taken branch and/or the JMP, 0–2); each traversal pays
+	// Cost.PageCrossPenalty per crossing. Computed after fixup resolution
+	// whenever the cost model has a page size.
+	PageCrosses uint8
 	// Extra is a deterministic per-edge cycle cost beyond branch penalty
 	// and JMP (e.g. the arc counter in ModeEdgeCounters builds).
 	Extra uint64
+}
+
+// pageExtra is the deterministic page-refill cost paid on every traversal
+// of the edge.
+func (m *Meta) pageExtra(info EdgeInfo) uint64 {
+	return uint64(info.PageCrosses) * uint64(m.Cost.PageCrossPenalty)
 }
 
 // Predictor is the slice of the mote's branch predictor interface the
@@ -70,8 +83,13 @@ type ProcMeta struct {
 	Name  string
 	Index int
 	// EntryAddr is the CALL target; EndAddr is one past the last
-	// instruction of the procedure.
+	// instruction of the procedure's hot region. Blocks split into the
+	// cold flash region lie outside [EntryAddr, EndAddr).
 	EntryAddr, EndAddr int32
+	// ColdStartAddr/ColdEndAddr delimit the procedure's cold region
+	// (hot/cold splitting under PGO), emitted after every procedure's hot
+	// region; both are -1 when the procedure has no cold blocks.
+	ColdStartAddr, ColdEndAddr int32
 	// EntryBlock is the CFG entry block's ID.
 	EntryBlock ir.BlockID
 	// Layout is the block emission order used.
@@ -136,7 +154,7 @@ func (m *Meta) EdgeExtraCycles(pm *ProcMeta, e EdgeKey, pred Predictor) (uint64,
 	if info.ViaJmp {
 		extra += uint64(m.Cost.Cycles[isa.JMP])
 	}
-	return extra + info.Extra, nil
+	return extra + info.Extra + m.pageExtra(info), nil
 }
 
 // PathCycles returns the deterministic duration of one complete execution

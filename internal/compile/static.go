@@ -43,7 +43,7 @@ func (m *Meta) WorstCaseEdgeExtra(info EdgeInfo) uint64 {
 	if info.ViaJmp {
 		extra += uint64(m.Cost.Cycles[isa.JMP])
 	}
-	return extra + info.Extra
+	return extra + info.Extra + m.pageExtra(info)
 }
 
 // StaticBound is a provable, predictor-independent worst-case bound for one
@@ -157,12 +157,13 @@ func (m *Meta) shortestReturnPath(p *cfg.Proc, pm *ProcMeta) (uint64, bool) {
 		for _, s := range p.Block(u).Succs() {
 			info := pm.Edges[EdgeKey{From: u, To: s}]
 			// Minimum realizable extra: a perfectly predicting predictor
-			// pays no penalty, so only the JMP and deterministic parts.
+			// pays no penalty, so only the JMP and deterministic parts
+			// (page crossings are paid on every traversal of the edge).
 			var extra uint64
 			if info.ViaJmp {
 				extra += uint64(m.Cost.Cycles[isa.JMP])
 			}
-			extra += info.Extra
+			extra += info.Extra + m.pageExtra(info)
 			if d := best + extra + pm.BlockCycles[s]; d < dist[s] {
 				dist[s] = d
 			}

@@ -15,13 +15,25 @@ type CostModel struct {
 	// TakenPenalty is the pipeline-flush penalty, in cycles, paid by a
 	// conditional branch whose outcome the static predictor mispredicted.
 	TakenPenalty uint32
+	// PageSizeBytes is the size of one flash page (the instruction-fetch
+	// buffer granule). PageCrossPenalty is the refill stall, in cycles,
+	// paid when a control-flow redirect — an executed JMP or a *taken*
+	// conditional branch — lands on a different flash page than the
+	// transfer instruction itself. Sequential fetch is free (the buffer is
+	// refilled ahead of the fetch stream), and CALL/RET are exempt: a
+	// return's page locality depends on the call site, not the callee, so
+	// charging it would make a block's cost depend on its caller and break
+	// the per-edge determinism the timing model relies on. A zero penalty
+	// (the default) disables the whole mechanism bit-for-bit.
+	PageSizeBytes    uint32
+	PageCrossPenalty uint32
 }
 
 // DefaultCostModel returns the cost table used throughout the evaluation.
 // The values follow low-end in-order MCUs: single-cycle ALU, two-cycle
 // memory, multi-cycle multiply/divide, and multi-cycle control transfers.
 func DefaultCostModel() *CostModel {
-	m := &CostModel{TakenPenalty: 2}
+	m := &CostModel{TakenPenalty: 2, PageSizeBytes: 256}
 	for op := Op(0); op < numOps; op++ {
 		m.Cycles[op] = 1
 		m.Bytes[op] = 2
@@ -74,6 +86,36 @@ func (m *CostModel) CodeBytes(code []Instr) uint32 {
 		n += m.InstrBytes(in)
 	}
 	return n
+}
+
+// ByteOffsets returns the flash byte offset of every instruction plus a
+// final entry one past the last byte (len(code)+1 entries): the prefix
+// sums of the per-instruction encodings. Both the simulator's page table
+// and the compiler's page-crossing analysis are derived from it.
+func (m *CostModel) ByteOffsets(code []Instr) []uint32 {
+	off := make([]uint32, len(code)+1)
+	var n uint32
+	for i, in := range code {
+		off[i] = n
+		n += m.InstrBytes(in)
+	}
+	off[len(code)] = n
+	return off
+}
+
+// PageTable returns each instruction's flash page index (byte offset /
+// PageSizeBytes), or nil when the model has no page penalty configured —
+// the signal both interpreter cores use to skip the page check entirely.
+func (m *CostModel) PageTable(code []Instr) []uint32 {
+	if m.PageCrossPenalty == 0 || m.PageSizeBytes == 0 {
+		return nil
+	}
+	off := m.ByteOffsets(code)
+	pages := make([]uint32, len(code))
+	for i := range pages {
+		pages[i] = off[i] / m.PageSizeBytes
+	}
+	return pages
 }
 
 // Port numbers of the mote's peripherals (for IN/OUT).

@@ -111,12 +111,53 @@ func Optimize(proc *cfg.Proc, weights Weights) []ir.BlockID {
 	}
 
 	// Emit: entry chain first, then greedily the chain with the strongest
-	// connection to placed blocks.
-	placed := make(map[int]bool)
+	// connection to placed blocks. Connection strengths are cached rather
+	// than rescanned per candidate per round: each chain's incoming
+	// cross-chain edges are collected once in proc.Edges() order, and when
+	// a chain is placed only the chains it feeds are re-summed — over the
+	// same ordered edge list, so every sum adds the same floats in the
+	// same order as a full rescan and the selection (ties included) is
+	// bit-identical to the quadratic loop this replaces.
+	type inEdge struct {
+		from int // source chain
+		w    float64
+	}
+	inEdges := make([][]inEdge, n)
+	feeds := make([][]int, n) // dedup'd target chains per source chain
+	fed := make(map[[2]int]bool)
+	for _, e := range proc.Edges() {
+		cf, ct := chainOf[e.From], chainOf[e.To]
+		if cf == ct {
+			continue
+		}
+		inEdges[ct] = append(inEdges[ct], inEdge{from: cf, w: weights[[2]ir.BlockID{e.From, e.To}]})
+		if !fed[[2]int{cf, ct}] {
+			fed[[2]int{cf, ct}] = true
+			feeds[cf] = append(feeds[cf], ct)
+		}
+	}
+
+	placed := make([]bool, n)
+	conn := make([]float64, n)
+	resum := func(ci int) {
+		s := 0.0
+		for _, ie := range inEdges[ci] {
+			if placed[ie.from] {
+				s += ie.w
+			}
+		}
+		conn[ci] = s
+	}
+
 	var order []ir.BlockID
 	emit := func(ci int) {
 		order = append(order, chains[ci]...)
 		placed[ci] = true
+		for _, ct := range feeds[ci] {
+			if !placed[ct] {
+				resum(ct)
+			}
+		}
 	}
 	emit(chainOf[proc.Entry])
 	for len(order) < n {
@@ -125,12 +166,7 @@ func Optimize(proc *cfg.Proc, weights Weights) []ir.BlockID {
 			if ch == nil || placed[ci] {
 				continue
 			}
-			w := 0.0
-			for _, e := range proc.Edges() {
-				if chainOf[e.From] != ci && placed[chainOf[e.From]] && chainOf[e.To] == ci {
-					w += weights[[2]ir.BlockID{e.From, e.To}]
-				}
-			}
+			w := conn[ci]
 			if w > bestW || (w == bestW && (best == -1 || chains[ci][0] < chains[best][0])) {
 				best, bestW = ci, w
 			}

@@ -1,4 +1,4 @@
-package layout
+package layout_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"codetomo/internal/cfg"
 	"codetomo/internal/compile"
 	"codetomo/internal/ir"
+	"codetomo/internal/layout"
 	"codetomo/internal/markov"
 	"codetomo/internal/mote"
 	"codetomo/internal/profile"
@@ -29,11 +30,11 @@ func diamond() *cfg.Proc {
 
 func TestOptimizeMakesHotEdgeFallThrough(t *testing.T) {
 	p := diamond()
-	w := Weights{
+	w := layout.Weights{
 		{0, 1}: 0.9, {0, 2}: 0.1,
 		{1, 3}: 0.9, {2, 3}: 0.1,
 	}
-	order := Optimize(p, w)
+	order := layout.Optimize(p, w)
 	if len(order) != 4 {
 		t.Fatalf("order = %v", order)
 	}
@@ -48,11 +49,11 @@ func TestOptimizeMakesHotEdgeFallThrough(t *testing.T) {
 
 func TestOptimizeColdBranchFlip(t *testing.T) {
 	p := diamond()
-	w := Weights{
+	w := layout.Weights{
 		{0, 1}: 0.05, {0, 2}: 0.95,
 		{1, 3}: 0.05, {2, 3}: 0.95,
 	}
-	order := Optimize(p, w)
+	order := layout.Optimize(p, w)
 	if order[1] != 2 {
 		t.Fatalf("hot (false) successor not fall-through: %v", order)
 	}
@@ -62,11 +63,11 @@ func TestOptimizeIsPermutation(t *testing.T) {
 	p := diamond()
 	for seed := int64(0); seed < 10; seed++ {
 		rng := stats.NewRNG(seed)
-		w := Weights{}
+		w := layout.Weights{}
 		for _, e := range p.Edges() {
 			w[[2]ir.BlockID{e.From, e.To}] = rng.Float64()
 		}
-		order := Optimize(p, w)
+		order := layout.Optimize(p, w)
 		seen := map[ir.BlockID]bool{}
 		for _, b := range order {
 			if seen[b] {
@@ -85,8 +86,8 @@ func TestOptimizeIsPermutation(t *testing.T) {
 
 func TestRandomLayoutProperties(t *testing.T) {
 	p := diamond()
-	a := Random(p, 1)
-	b := Random(p, 1)
+	a := layout.Random(p, 1)
+	b := layout.Random(p, 1)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("Random not deterministic per seed")
@@ -113,7 +114,7 @@ func TestFromProbsWeightsLoopHigher(t *testing.T) {
 	probs := markov.Uniform(p)
 	probs[[2]ir.BlockID{1, 2}] = 0.9
 	probs[[2]ir.BlockID{1, 3}] = 0.1
-	w := FromProbs(p, probs)
+	w := layout.FromProbs(p, probs)
 	if w[[2]ir.BlockID{1, 2}] <= w[[2]ir.BlockID{1, 3}] {
 		t.Fatalf("loop edge weight %v not above exit %v",
 			w[[2]ir.BlockID{1, 2}], w[[2]ir.BlockID{1, 3}])
@@ -178,7 +179,7 @@ func TestOracleLayoutReducesMispredicts(t *testing.T) {
 	for _, p := range outBase.CFG.Procs {
 		probs[p.Name] = profile.OracleProbs(outBase.Meta.ProcByName[p.Name], p, mBase.BranchStats())
 	}
-	layouts := OptimizeAll(outBase.CFG, probs)
+	layouts := layout.OptimizeAll(outBase.CFG, probs)
 	outOpt, mOpt := runWith(t, layouts, 77)
 
 	if mBase.DebugOutput()[0] != mOpt.DebugOutput()[0] {
@@ -200,8 +201,8 @@ func TestRandomLayoutWorseThanOracle(t *testing.T) {
 	for _, p := range outBase.CFG.Procs {
 		probs[p.Name] = profile.OracleProbs(outBase.Meta.ProcByName[p.Name], p, mBase.BranchStats())
 	}
-	_, mOpt := runWith(t, OptimizeAll(outBase.CFG, probs), 99)
-	_, mRand := runWith(t, RandomAll(outBase.CFG, 5), 99)
+	_, mOpt := runWith(t, layout.OptimizeAll(outBase.CFG, probs), 99)
+	_, mRand := runWith(t, layout.RandomAll(outBase.CFG, 5), 99)
 	if mOpt.Stats().Mispredicts >= mRand.Stats().Mispredicts {
 		t.Fatalf("oracle (%d mispredicts) not better than random (%d)",
 			mOpt.Stats().Mispredicts, mRand.Stats().Mispredicts)
@@ -210,13 +211,13 @@ func TestRandomLayoutWorseThanOracle(t *testing.T) {
 
 func TestHintsFollowWeights(t *testing.T) {
 	p := diamond()
-	w := Weights{{0, 1}: 0.8, {0, 2}: 0.2}
-	h := Hints(p, w)
+	w := layout.Weights{{0, 1}: 0.8, {0, 2}: 0.2}
+	h := layout.Hints(p, w)
 	if !h[0] {
 		t.Fatal("hint should mark True successor hot")
 	}
-	w = Weights{{0, 1}: 0.1, {0, 2}: 0.9}
-	if Hints(p, w)[0] {
+	w = layout.Weights{{0, 1}: 0.1, {0, 2}: 0.9}
+	if layout.Hints(p, w)[0] {
 		t.Fatal("hint should mark False successor hot")
 	}
 }
@@ -229,7 +230,7 @@ func TestPlanAllSkipsUnlistedProcs(t *testing.T) {
 	probs := map[string]markov.EdgeProbs{
 		"work": markov.Uniform(out.CFG.Proc("work")),
 	}
-	plan := PlanAll(out.CFG, probs)
+	plan := layout.PlanAll(out.CFG, probs)
 	if _, ok := plan.Layouts["work"]; !ok {
 		t.Fatal("listed proc not planned")
 	}
@@ -254,14 +255,14 @@ func TestMergeOnlyHottestOutEdge(t *testing.T) {
 			{ID: 4, Term: ir.Ret{Val: -1}},
 		},
 	}
-	w := Weights{
+	w := layout.Weights{
 		{0, 1}: 1.0,
 		{1, 2}: 0.2, // cold arm
 		{1, 3}: 0.8, // hot arm
 		{3, 2}: 0.8,
 		{2, 4}: 1.0,
 	}
-	order := Optimize(p, w)
+	order := layout.Optimize(p, w)
 	pos := map[ir.BlockID]int{}
 	for i, b := range order {
 		pos[b] = i

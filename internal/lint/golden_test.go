@@ -152,6 +152,64 @@ func TestCostReport(t *testing.T) {
 	}
 }
 
+// TestPageReport checks -pages emits a flash-page occupancy entry per
+// procedure and flags pagedemo's triply guarded fault arm as a cold-split
+// candidate under the static branch priors.
+func TestPageReport(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(examplesDir, "pagedemo.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCode := map[string][]Diag{}
+	for _, d := range Run("pagedemo.mc", string(src), Options{PageReport: true}) {
+		if d.Severity != SevInfo {
+			t.Fatalf("pagedemo has a non-info diagnostic: %v", d)
+		}
+		perCode[d.Code] = append(perCode[d.Code], d)
+	}
+	if n := len(perCode["page-info"]); n != 3 { // fault, guard, main
+		t.Fatalf("page-info entries = %d, want 3: %v", n, perCode["page-info"])
+	}
+	for _, d := range perCode["page-info"] {
+		if !strings.Contains(d.Msg, "flash page") {
+			t.Fatalf("page-info entry missing occupancy: %v", d)
+		}
+	}
+	cold := perCode["cold-split"]
+	if len(cold) != 1 || !strings.Contains(cold[0].Msg, `"guard"`) {
+		t.Fatalf("cold-split entries = %v, want exactly guard's fault arm", cold)
+	}
+}
+
+// TestGoldenPageReport pins the full -pages listing for the page demo.
+func TestGoldenPageReport(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(examplesDir, "pagedemo.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range Run("pagedemo.mc", string(src), Options{PageReport: true}) {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "pagedemo.mc.pages.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("page report changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestEventLoopNotFlagged checks that a deliberate while(1) event loop —
 // which has no exit at all — is not reported as loop-unbounded, while a
 // data-dependent exit in the same program is.

@@ -69,6 +69,10 @@ type Options struct {
 	// CostReport additionally emits an informational cost summary per
 	// procedure (ctlint -costs).
 	CostReport bool
+	// PageReport additionally emits an informational flash-page report per
+	// procedure (ctlint -pages): pages occupied, avoidable page straddles,
+	// and cold-split candidate blocks under static branch priors.
+	PageReport bool
 }
 
 type linter struct {
@@ -429,6 +433,10 @@ func (l *linter) lintCosts(f *minic.File, src string, opts Options) {
 				fmt.Sprintf("%q: <= %d cycles%s, stack %s, frame %d words",
 					p.Name, sb.Cycles, loopNote, stackNote(b), analysis.FrameWords(p)))
 		}
+	}
+
+	if opts.PageReport {
+		l.lintPages(f, out)
 	}
 }
 

@@ -122,6 +122,14 @@ func randCfgPair(r *rand.Rand) (Config, Config) {
 	}
 	seed := r.Uint32()
 	predKind := r.Intn(5)
+	// Half the configurations run with a flash page-cross penalty at a
+	// tiny page size, so random short programs still straddle pages and
+	// the fused core's page charge is exercised against the reference.
+	cost := isa.DefaultCostModel()
+	if pp := r.Intn(4); pp >= 2 {
+		cost.PageCrossPenalty = uint32(pp)
+		cost.PageSizeBytes = uint32(8 << r.Intn(3)) // 8, 16, or 32 bytes
+	}
 	mk := func() Config {
 		cfg := Config{
 			RAMWords:         ram,
@@ -129,6 +137,7 @@ func randCfgPair(r *rand.Rand) (Config, Config) {
 			MaxTraceEvents:   traceMax,
 			ClockOffsetTicks: offset,
 			Resets:           resets,
+			Cost:             cost,
 			Sensor:           &lcgTestSource{s: seed},
 			Entropy:          &lcgTestSource{s: seed ^ 0x9e3779b9},
 		}

@@ -71,6 +71,13 @@ func decodeFuzzMachine(data []byte) (prog []isa.Instr, cfgF, cfgR Config, budget
 	if hdr[3]%4 == 0 {
 		traceMax = 1 + int(hdr[3]%8)
 	}
+	// The high bits of the predictor byte select a flash page-cross
+	// penalty at a tiny page size, so short fuzz programs cross pages.
+	cost := isa.DefaultCostModel()
+	if pp := (hdr[4] / 5) % 4; pp != 0 {
+		cost.PageCrossPenalty = uint32(pp)
+		cost.PageSizeBytes = 16
+	}
 	mk := func() Config {
 		cfg := Config{
 			RAMWords:         16 + int(hdr[2]%49),
@@ -78,6 +85,7 @@ func decodeFuzzMachine(data []byte) (prog []isa.Instr, cfgF, cfgR Config, budget
 			MaxTraceEvents:   traceMax,
 			ClockOffsetTicks: uint64(hdr[6]) << 4,
 			Resets:           resets,
+			Cost:             cost,
 			Sensor:           &lcgTestSource{s: uint32(hdr[0]) * 2654435761},
 			Entropy:          &lcgTestSource{s: uint32(hdr[2]) * 40503},
 		}
@@ -146,6 +154,18 @@ func FuzzFastCore(f *testing.F) {
 		{Op: isa.SPADJ, Imm: -4},
 		{Op: isa.POP, Rd: 5},
 		{Op: isa.RET},
+	}))
+	// Page-cross penalty active (hdr[4]=6: BTFN, penalty 1 at 16-byte
+	// pages): a backward loop branch that straddles a page boundary.
+	f.Add(encodeFuzzSeed([8]byte{60, 2, 12, 1, 6, 0, 0, 0}, []isa.Instr{
+		{Op: isa.LDI, Rd: 1, Imm: 6},
+		{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 3},
+		{Op: isa.XORI, Rd: 2, Ra: 2, Imm: 5},
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: -1},
+		{Op: isa.BNZ, Ra: 1, Imm: 1},
+		{Op: isa.JMP, Imm: 7},
+		{Op: isa.NOP},
+		{Op: isa.HALT},
 	}))
 	// Division fault plus radio/debug output.
 	f.Add(encodeFuzzSeed([8]byte{60, 1, 16, 3, 4, 0, 0, 0}, []isa.Instr{

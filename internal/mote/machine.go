@@ -85,6 +85,10 @@ type Stats struct {
 	CondBranches  uint64
 	TakenBranches uint64
 	Mispredicts   uint64
+	// PageCrossings counts control-flow redirects (executed JMPs and taken
+	// conditional branches) that landed on a different flash page and paid
+	// Cost.PageCrossPenalty. Always zero when the penalty is zero.
+	PageCrossings uint64
 	Calls         uint64
 	LoadsStores   uint64
 	RadioPackets  uint64
@@ -186,6 +190,13 @@ type Machine struct {
 	predKind  uint8
 	bimodal   *Bimodal
 	trainable TrainablePredictor
+
+	// pageOf[pc] is the flash page holding instruction pc, or nil when the
+	// cost model has no page-cross penalty (the common case) so the hot
+	// loops skip the check with one nil test per redirect. pagePen is the
+	// penalty widened once.
+	pageOf  []uint32
+	pagePen uint64
 
 	// Intermittent-execution state (nil power = mains, see power.go).
 	// durableLen is the committed-trace watermark: events at or beyond it
@@ -424,6 +435,10 @@ func (m *Machine) stepInstr() error {
 		m.regs[in.Rd] = uint16(m.sp)
 	case isa.JMP:
 		nextPC = in.Imm
+		if m.pageOf != nil && uint(nextPC) < uint(len(m.pageOf)) && m.pageOf[nextPC] != m.pageOf[m.pc] {
+			cost += m.pagePen
+			m.stats.PageCrossings++
+		}
 	case isa.BZ, isa.BNZ, isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
 		taken := false
 		switch in.Op {
@@ -447,6 +462,10 @@ func (m *Machine) stepInstr() error {
 			m.stats.TakenBranches++
 			st.Taken++
 			nextPC = in.Imm
+			if m.pageOf != nil && uint(nextPC) < uint(len(m.pageOf)) && m.pageOf[nextPC] != m.pageOf[m.pc] {
+				cost += m.pagePen
+				m.stats.PageCrossings++
+			}
 		} else {
 			st.NotTaken++
 		}

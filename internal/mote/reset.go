@@ -75,6 +75,8 @@ func (m *Machine) Reset(cfg Config) {
 		m.costs[op] = cyc
 	}
 	m.penalty = uint64(cfg.Cost.TakenPenalty)
+	m.pageOf = cfg.Cost.PageTable(m.prog)
+	m.pagePen = uint64(cfg.Cost.PageCrossPenalty)
 	m.bimodal = nil
 	m.trainable = nil
 	switch p := cfg.Predictor.(type) {

@@ -187,6 +187,10 @@ func (m *Machine) runSegment(stop uint64) error {
 			m.regs[in.Rd] = uint16(m.sp)
 		case isa.JMP:
 			next = in.Imm
+			if m.pageOf != nil && uint(next) < uint(len(m.pageOf)) && m.pageOf[next] != m.pageOf[pc] {
+				cost += m.pagePen
+				m.stats.PageCrossings++
+			}
 		case isa.BZ, isa.BNZ, isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
 			var taken bool
 			switch in.Op {
@@ -220,6 +224,10 @@ func (m *Machine) runSegment(stop uint64) error {
 				m.stats.TakenBranches++
 				bs.Taken++
 				next = in.Imm
+				if m.pageOf != nil && uint(next) < uint(len(m.pageOf)) && m.pageOf[next] != m.pageOf[pc] {
+					cost += m.pagePen
+					m.stats.PageCrossings++
+				}
 			} else {
 				bs.NotTaken++
 			}

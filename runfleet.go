@@ -661,7 +661,11 @@ func RunFleet(source string, cfg FleetConfig) (*FleetResult, error) {
 
 	// 5. Place and measure with Run's tail.
 	plan := layout.PlanAll(prof.CFG, probs)
-	res.Before, res.After, res.Output, err = cfg.Config.measureLayouts(source, plan)
+	var pgo *compile.PGOOptions
+	if cfg.pgoEnabled() {
+		pgo = cfg.pgoOptions(prof.CFG, probs)
+	}
+	res.Before, res.After, res.Output, err = cfg.Config.measureLayouts(source, plan, pgo)
 	if err != nil {
 		return nil, err
 	}

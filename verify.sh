@@ -38,6 +38,12 @@ echo "== fuzz smoke (static bounds)"
 # static WCET/stack bounds, with and without dead-branch elimination.
 go test ./internal/compile -run=NONE -fuzz=FuzzStaticBounds -fuzztime=5s
 
+echo "== fuzz smoke (PGO passes)"
+# Differential fuzzing of the profile-guided pipeline: random programs,
+# random weights, and random pass combinations must preserve semantics
+# bit-for-bit against a plain build under flash-page penalties.
+go test ./internal/compile -run=NONE -fuzz=FuzzPGOPasses -fuzztime=5s
+
 echo "== fuzz smoke (checkpoint codec)"
 # Random bytes at the checkpoint decoder: corrupt or truncated images must
 # be rejected cleanly, and every accepted image must re-encode to an
@@ -52,16 +58,22 @@ else
 	echo "staticcheck not installed; skipping"
 fi
 
-echo "== bench smoke (estimation kernel, interpreter cores, station, fleet, energy)"
+echo "== bench smoke (estimation kernel, interpreter cores, station, fleet, energy, compile, layout)"
 # One iteration of every benchmark: keeps the bench code compiling and
 # running without paying for stable timings. -benchmem so the fleet
 # pipeline's bytes-per-mote stays visible in the smoke output.
-go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station ./internal/fleet ./internal/fault -run='^$' -bench=. -benchtime=1x -benchmem
+go test ./internal/tomography ./internal/markov ./internal/mote ./internal/station ./internal/fleet ./internal/fault ./internal/compile ./internal/layout -run='^$' -bench=. -benchtime=1x -benchmem
 
 echo "== fleet scale smoke (fl3 at 10^5 motes)"
 # The streaming cohort pipeline at CI scale: a hundred thousand motes must
 # simulate, uplink, and reduce without materializing the fleet.
 go run ./cmd/ctbench -exp fl3 -fleetmax 100000
+
+echo "== pgo sweep smoke (pg1 at 400 samples)"
+# The full profile-guided pipeline end to end on every kernel: profile,
+# estimate, then placement-only vs each PGO pass vs the full stack under
+# a flash-page penalty. Smoke sample count keeps it under a second.
+go run ./cmd/ctbench -exp pg1 -samples 400
 
 echo "== station smoke (daemon boot, loopback push, HTTP, clean shutdown)"
 # Boots ctstationd in-process on ephemeral loopback ports, pushes one
